@@ -1,0 +1,70 @@
+// Experiment E9 — Corollaries 1 and 2.
+//
+// Corollary 1: at k = ceil(log2 n) the construction's degree drops to
+// O(log log N) — compare realized degree against 4*ceil(log2 n) - 2.
+// Corollary 2: for constant k the construction is Theta(n^(1/k)) —
+// report the ratio realized / ceil(n^(1/k)) staying inside [1, 2k-1].
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+void print_corollary1() {
+  std::cout << "\n=== E9a: Corollary 1 — k = ceil(log2 n) gives Delta = O(log log N) ===\n";
+  TextTable t({"n", "k=ceil(log2 n)", "Delta(opt cuts)", "4*ceil(log2 n)-2", "Delta(Q_n)"});
+  for (int n : {8, 12, 16, 24, 32, 40, 48, 56, 63}) {
+    const int k = ceil_log2(static_cast<std::uint64_t>(n));
+    if (n <= k) continue;
+    const auto cuts = optimal_cuts(n, k);
+    t.add_row({std::to_string(n), std::to_string(k),
+               std::to_string(realized_max_degree(n, cuts)),
+               std::to_string(corollary1_upper(n)), std::to_string(n)});
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: Delta stays tiny (single digits) while Q_n's degree\n"
+               "grows linearly in n.\n";
+}
+
+void print_corollary2() {
+  std::cout << "\n=== E9b: Corollary 2 — Theta(n^(1/k)) tightness for constant k ===\n";
+  TextTable t({"k", "n", "Delta", "ceil(n^(1/k))", "ratio", "2k-1"});
+  for (int k = 2; k <= 5; ++k) {
+    for (int n : {16, 32, 48, 63}) {
+      if (n <= k * k) continue;
+      const int delta = realized_max_degree(n, optimal_cuts(n, k));
+      const int root = ceil_root(n, k);
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.2f",
+                    static_cast<double>(delta) / static_cast<double>(root));
+      t.add_row({std::to_string(k), std::to_string(n), std::to_string(delta),
+                 std::to_string(root), ratio, std::to_string(2 * k - 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: ratio bounded by 2k-1 and bounded away from 0 —\n"
+               "the construction asymptotically attains the lower bound order.\n\n";
+}
+
+void BM_DesignAtLogK(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = ceil_log2(static_cast<std::uint64_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design_sparse_hypercube(n, k));
+  }
+}
+BENCHMARK(BM_DesignAtLogK)->Arg(16)->Arg(32)->Arg(63);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_corollary1();
+  print_corollary2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

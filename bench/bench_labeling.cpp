@@ -1,0 +1,91 @@
+// Experiment E12 — Lemma 2 and the labeling machinery.
+//
+// Reports lambda_m (the number of Condition-A labels = the domatic
+// number of Q_m) as achieved by the three constructions against the
+// paper's bounds floor(m/2)+1 <= lambda_m <= m+1, with the exact value
+// from branch-and-bound where feasible.  lambda drives the degree of
+// every sparse hypercube, so this is the construction's engine room.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+void print_table() {
+  std::cout << "\n=== E12: Lemma 2 — Condition-A label counts lambda_m ===\n";
+  TextTable t({"m", "floor(m/2)+1", "lemma2", "exact", "m+1", "hamming?"});
+  for (int m = 1; m <= 10; ++m) {
+    std::string exact = "-";
+    if (m <= 5) {
+      const auto r = max_condition_a_labels(m);
+      exact = std::to_string(r.lambda) + (r.proven_optimal ? "" : "?");
+    }
+    const bool hamming = ((m + 1) & m) == 0;  // m + 1 a power of two
+    t.add_row({std::to_string(m), std::to_string(m / 2 + 1),
+               std::to_string(lemma2_num_labels(m)), exact, std::to_string(m + 1),
+               hamming ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: lemma2 = exact at m = 1,2,3,4,5; equality with m+1\n"
+               "exactly when m = 2^p - 1 (Hamming); m = 2 shows the lower bound\n"
+               "floor(m/2)+1 is tight (the paper's remark after Lemma 2).\n";
+
+  std::cout << "\n--- Condition-A verification cost ---\n";
+  TextTable v({"m", "labels", "classes sizes"});
+  for (int m : {3, 7}) {
+    const auto f = lemma2_labeling(m);
+    std::string sizes;
+    for (std::size_t s : f.class_sizes()) sizes += (sizes.empty() ? "" : ",") + std::to_string(s);
+    v.add_row({std::to_string(m), std::to_string(f.num_labels()), sizes});
+  }
+  v.print(std::cout);
+  std::cout << "Expected shape: Hamming classes are perfectly even (cosets).\n\n";
+}
+
+void BM_Lemma2Labeling(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lemma2_labeling(m));
+  }
+}
+BENCHMARK(BM_Lemma2Labeling)->DenseRange(2, 16, 2);
+
+void BM_ConditionACheck(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto f = lemma2_labeling(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.satisfies_condition_a());
+  }
+}
+BENCHMARK(BM_ConditionACheck)->DenseRange(2, 16, 2);
+
+void BM_ExactDomaticSearch(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_condition_a_labels(m));
+  }
+}
+BENCHMARK(BM_ExactDomaticSearch)->DenseRange(1, 5, 1);
+
+void BM_HammingSyndrome(benchmark::State& state) {
+  const HammingCode code(4);
+  Vertex u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.syndrome(u));
+    u = (u + 0x9E3779B9ULL) & mask_low(code.length());
+  }
+}
+BENCHMARK(BM_HammingSyndrome);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Experiment E2 — Theorems 2 and 3 (degree lower bounds).
+//
+// Regenerates the lower-bound landscape: for each k, the smallest
+// feasible maximum degree of a k-mlbg on 2^n vertices, in three
+// flavors: the paper's closed forms (Theorem 2 for k = 2..4, Theorem 3
+// for k >= 5), the exact counting bound, and the cycle exclusion
+// (Theorem 3's Delta >= 3 argument: a cycle needs 2^(n-1) <= k*n, which
+// fails for all n > k >= 5 — the paper's example is k = 5, n = 6).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+void print_bound_table() {
+  std::cout << "\n=== E2: Theorems 2 & 3 — lower bounds on max degree ===\n";
+  TextTable t({"n", "k=2 thm", "k=2 cnt", "k=3 thm", "k=3 cnt", "k=4 thm",
+               "k=4 cnt", "k=5 thm", "k=5 cnt", "k=8 thm"});
+  for (int n : {4, 8, 16, 24, 32, 48, 64}) {
+    t.add_row({std::to_string(n),
+               std::to_string(lower_bound_max_degree(n, 2)),
+               std::to_string(counting_lower_bound(n, 2)),
+               std::to_string(lower_bound_max_degree(n, 3)),
+               std::to_string(counting_lower_bound(n, 3)),
+               std::to_string(lower_bound_max_degree(n, 4)),
+               std::to_string(counting_lower_bound(n, 4)),
+               std::to_string(lower_bound_max_degree(n, 5)),
+               std::to_string(counting_lower_bound(n, 5)),
+               std::to_string(lower_bound_max_degree(n, 8))});
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: bounds grow like ceil(n^(1/k)); the counting bound\n"
+               "is never weaker than the theorem's closed form.\n";
+}
+
+void print_cycle_table() {
+  std::cout << "\n--- Theorem 3's cycle exclusion: 2^(n-1) <= k*n needed for Delta=2 ---\n";
+  TextTable t({"k", "n", "2^(n-1)", "k*n", "cycle feasible"});
+  for (int k : {5, 6, 8}) {
+    for (int n = k; n <= k + 3; ++n) {
+      const std::uint64_t half = std::uint64_t{1} << (n - 1);
+      const std::uint64_t kn = static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n);
+      t.add_row({std::to_string(k), std::to_string(n), std::to_string(half),
+                 std::to_string(kn), half <= kn ? "maybe" : "no"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: the paper's k=5, n=6 case shows 32 > 30, so a cycle\n"
+               "(Delta = 2) can never be a 5-mlbg on 64 vertices; Delta >= 3 follows.\n\n";
+}
+
+void BM_LowerBoundClosedForm(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int n = 2; n <= 63; ++n) {
+      benchmark::DoNotOptimize(lower_bound_max_degree(n, k));
+    }
+  }
+}
+BENCHMARK(BM_LowerBoundClosedForm)->DenseRange(2, 8, 1);
+
+void BM_CountingBound(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int n = 2; n <= 63; ++n) {
+      benchmark::DoNotOptimize(counting_lower_bound(n, k));
+    }
+  }
+}
+BENCHMARK(BM_CountingBound)->DenseRange(2, 8, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_bound_table();
+  print_cycle_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

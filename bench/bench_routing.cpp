@@ -1,0 +1,89 @@
+// Experiment E15 — footnote 1: any k-mlbg of order 2^n has diameter
+// <= k*n, made executable.
+//
+// The dimension-ordered greedy router (route_flip per differing
+// dimension, highest first) witnesses the bound constructively; the
+// table reports sampled hop counts and stretch (hops / Hamming
+// distance) across n and k, plus the per-dimension edge profile that
+// shows where the sparsification bites.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+void print_routing_table() {
+  std::cout << "\n=== E15: footnote 1 — k-line routing and diameter <= k*n ===\n";
+  TextTable t({"n", "k", "Delta", "max hops", "k*n", "mean stretch", "max stretch"});
+  for (int n : {12, 24, 48, 63}) {
+    for (int k : {2, 3, 4}) {
+      const auto spec = design_sparse_hypercube(n, k);
+      const auto stats = sample_routing(spec, 2000, 12345);
+      char mean[32], mx[32];
+      std::snprintf(mean, sizeof(mean), "%.3f", stats.mean_stretch);
+      std::snprintf(mx, sizeof(mx), "%.3f", stats.max_stretch);
+      t.add_row({std::to_string(n), std::to_string(k),
+                 std::to_string(spec.max_degree()), std::to_string(stats.max_hops),
+                 std::to_string(stats.footnote_bound), mean, mx});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: max hops well under the k*n bound; stretch grows\n"
+               "mildly with k (each missing edge costs a short detour).\n";
+}
+
+void print_dimension_profile() {
+  std::cout << "\n--- Per-dimension edge counts, G(12, k=3) vs Q_12 ---\n";
+  const auto spec = design_sparse_hypercube(12, 3);
+  const auto profile = dimension_edge_profile(spec);
+  TextTable t({"dim", "edges", "Q_12 edges", "kept"});
+  for (int i = 1; i <= 12; ++i) {
+    const std::uint64_t e = profile[static_cast<std::size_t>(i - 1)];
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.0f%%",
+                  100.0 * static_cast<double>(e) / static_cast<double>(cube_order(11)));
+    t.add_row({std::to_string(i), std::to_string(e), std::to_string(cube_order(11)),
+               pct});
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: core dimensions keep 100%; Rule-2 dimensions keep\n"
+               "1/lambda of their edges — that is the entire degree saving.\n\n";
+}
+
+void BM_GreedyRoute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 3);
+  std::uint64_t x = 99;
+  const Vertex mask = mask_low(n);
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const Vertex a = (x >> 3) & mask;
+    const Vertex b = (x >> 33) & mask;
+    benchmark::DoNotOptimize(greedy_route(spec, a, b == a ? a ^ 1 : b));
+  }
+}
+BENCHMARK(BM_GreedyRoute)->Arg(16)->Arg(32)->Arg(48)->Arg(63);
+
+void BM_BroadcastTreeAnalysis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 3);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_broadcast_tree(schedule));
+  }
+}
+BENCHMARK(BM_BroadcastTreeAnalysis)->DenseRange(8, 16, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_routing_table();
+  print_dimension_profile();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

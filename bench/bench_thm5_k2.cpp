@@ -1,0 +1,86 @@
+// Experiment E7 — Theorem 5 (k = 2 upper bound).
+//
+// Regenerates the k = 2 degree table: for each n, the paper's core size
+// m* = ceil(sqrt(2n+4)) - 2, the realized maximum degree of
+// Construct_BASE(n, m*), the exact-DP optimum over all m, the Theorem-5
+// bound 2*ceil(sqrt(2n+4)) - 4, and the Theorem-2 lower bound
+// ceil(sqrt(n)).  The paper's claim: realized <= bound, and within ~2x
+// of the lower bound.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+void print_table() {
+  std::cout << "\n=== E7: Theorem 5 — 2-mlbg maximum degree vs bounds ===\n";
+  TextTable t({"n", "N", "m*", "Delta(m*)", "m_opt", "Delta(opt)", "thm5 bound",
+               "lower", "ratio"});
+  for (int n : {4, 6, 8, 12, 16, 20, 24, 32, 40, 48, 56, 63}) {
+    const int m_star = theorem5_core(n);
+    const int d_star = realized_max_degree(n, {m_star});
+    const auto opt = optimal_cuts(n, 2);
+    const int d_opt = realized_max_degree(n, opt);
+    const int bound = theorem5_upper(n);
+    const int lower = lower_bound_max_degree(n, 2);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2f",
+                  static_cast<double>(d_opt) / static_cast<double>(lower));
+    t.add_row({std::to_string(n), "2^" + std::to_string(n), std::to_string(m_star),
+               std::to_string(d_star), std::to_string(opt[0]), std::to_string(d_opt),
+               std::to_string(bound), std::to_string(lower), ratio});
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: Delta(m*) <= thm5 bound for all n; the optimal m\n"
+               "stays within ~2x of the Theorem-2 lower bound ceil(sqrt(n)).\n";
+
+  std::cout << "\n--- Note after Theorem 5: m = 2^p - 1, n = m(m+2) gives Delta = 2m ---\n";
+  TextTable s({"p", "m", "n", "Delta", "2m", "2*ceil(sqrt(n))"});
+  for (int p = 1; p <= 3; ++p) {
+    const int m = (1 << p) - 1;
+    const int n = m * (m + 2);
+    if (n < 2) continue;
+    s.add_row({std::to_string(p), std::to_string(m), std::to_string(n),
+               std::to_string(realized_max_degree(n, {m})), std::to_string(2 * m),
+               std::to_string(2 * ceil_root(n, 2))});
+  }
+  s.print(std::cout);
+  std::cout << "Expected shape: Delta = 2m < 2*sqrt(n) — within twice the lower bound.\n\n";
+}
+
+void BM_Theorem5CoreSelection(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int n = 2; n <= 63; ++n) benchmark::DoNotOptimize(theorem5_core(n));
+  }
+}
+BENCHMARK(BM_Theorem5CoreSelection);
+
+void BM_OptimalCutsK2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_cuts(n, 2));
+  }
+}
+BENCHMARK(BM_OptimalCutsK2)->Arg(16)->Arg(32)->Arg(63);
+
+void BM_RealizedDegree(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int n = 3; n <= 63; ++n) {
+      benchmark::DoNotOptimize(realized_max_degree(n, {theorem5_core(n)}));
+    }
+  }
+}
+BENCHMARK(BM_RealizedDegree);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment E8 — Theorem 7 (general-k upper bound) and the Figure-5
+// partition structure.
+//
+// For k = 3..6 and a sweep of n, reports the closed-form cuts n_i*, the
+// realized maximum degree, the exact-DP optimum, and the bound
+// (2k-1)*ceil(n^(1/k)) - k.  Also dumps one construction's level
+// structure (windows, governed dims, label counts) — the content of the
+// paper's Figure 5.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+std::string cuts_to_string(const std::vector<int>& cuts) {
+  std::string s;
+  for (int c : cuts) s += (s.empty() ? "" : ",") + std::to_string(c);
+  return s;
+}
+
+void print_table() {
+  std::cout << "\n=== E8: Theorem 7 — k-mlbg maximum degree vs (2k-1)n^(1/k) - k ===\n";
+  for (int k = 3; k <= 6; ++k) {
+    std::cout << "k = " << k << ":\n";
+    TextTable t({"n", "cuts (thm7)", "Delta", "cuts (opt)", "Delta", "bound", "lower"});
+    for (int n : {12, 16, 24, 32, 40, 48, 56, 63}) {
+      if (n <= k * k) continue;  // asymptotic regime of the theorem
+      const auto cuts = theorem7_cuts(n, k);
+      const auto opt = optimal_cuts(n, k);
+      t.add_row({std::to_string(n), cuts_to_string(cuts),
+                 std::to_string(realized_max_degree(n, cuts)), cuts_to_string(opt),
+                 std::to_string(realized_max_degree(n, opt)),
+                 std::to_string(theorem7_upper(n, k)),
+                 std::to_string(lower_bound_max_degree(n, k))});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "Expected shape: realized Delta <= bound throughout; larger k buys a\n"
+               "smaller degree (Theta(n^(1/k))); the DP cuts never lose to the\n"
+               "closed form.\n";
+
+  std::cout << "\n--- Figure 5: level structure of Construct(4, (24, n_3, n_2, n_1)) ---\n";
+  const auto spec = design_sparse_hypercube(24, 4);
+  TextTable t({"level", "window", "labels", "governs dims", "|S_j| max"});
+  for (std::size_t lv = 0; lv < spec.levels().size(); ++lv) {
+    const auto& level = spec.levels()[lv];
+    t.add_row({std::to_string(lv + 1),
+               "(" + std::to_string(level.win_lo) + "," + std::to_string(level.win_hi) + "]",
+               std::to_string(level.labeling.num_labels()),
+               "(" + std::to_string(level.dim_lo) + "," + std::to_string(level.dim_hi) + "]",
+               std::to_string(level.max_owned())});
+  }
+  t.print(std::cout);
+  std::cout << "core dims (always present): 1.." << spec.core_dim()
+            << "; max degree " << spec.max_degree() << "\n\n";
+}
+
+void BM_Theorem7Cuts(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int n = k + 1; n <= 63; ++n) benchmark::DoNotOptimize(theorem7_cuts(n, k));
+  }
+}
+BENCHMARK(BM_Theorem7Cuts)->DenseRange(3, 6, 1);
+
+void BM_OptimalCutsDp(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_cuts(40, k));
+  }
+}
+BENCHMARK(BM_OptimalCutsDp)->DenseRange(2, 6, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a sparse hypercube, broadcast, and verify.
+//
+//   ./quickstart [n] [k]     (defaults n = 10, k = 3)
+//
+// Walks the whole public API surface in ~60 lines: design parameters,
+// construct the graph, inspect degrees against the paper's bounds,
+// generate the Broadcast_k schedule, and validate it mechanically under
+// the k-line model.
+#include <cstdlib>
+#include <iostream>
+
+#include "shc/shc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shc;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 3;
+  if (n < 3 || n > 20 || k < 2 || k >= n) {
+    std::cerr << "usage: quickstart [n in 3..20] [k in 2..n-1]\n";
+    return 1;
+  }
+
+  // 1. Design: pick the degree-optimal cut points for Construct(k, ...).
+  const SparseHypercubeSpec spec = design_sparse_hypercube(n, k);
+  std::cout << "sparse hypercube G on 2^" << n << " = " << spec.num_vertices()
+            << " vertices, k = " << k << "\n";
+  std::cout << "  cuts:";
+  for (int c : spec.cuts()) std::cout << ' ' << c;
+  std::cout << "  (core Q_" << spec.core_dim() << " plus " << spec.levels().size()
+            << " level(s))\n";
+
+  // 2. Degree economics vs the full cube and the paper's bounds.
+  std::cout << "  max degree " << spec.max_degree() << "  (Q_" << n << " has " << n
+            << "; lower bound " << lower_bound_max_degree(n, k) << ", upper bound "
+            << (k == 2 ? theorem5_upper(n) : theorem7_upper(n, k)) << ")\n";
+  std::cout << "  edges " << spec.num_edges() << "  (Q_" << n << " has "
+            << (static_cast<std::uint64_t>(n) << (n - 1)) << ")\n";
+
+  // 3. Broadcast from a vertex and validate under the k-line model.
+  const Vertex source = 1;
+  const BroadcastSchedule schedule = make_broadcast_schedule(spec, source);
+  const SparseHypercubeView view(spec);
+  const ValidationReport report = validate_minimum_time_k_line(view, schedule, k);
+  std::cout << "broadcast from " << to_bitstring(source, n) << ": "
+            << report.rounds << " rounds, " << report.total_calls
+            << " calls, max call length " << report.max_call_length << "\n";
+  std::cout << "  validated: " << (report.ok ? "ok" : report.error)
+            << "; minimum-time: " << (report.minimum_time ? "yes" : "no") << "\n";
+
+  // 4. Congestion profile (Section 5 of the paper).
+  const CongestionStats stats = analyze_congestion(schedule);
+  std::cout << "  congestion: " << stats.total_edge_hops << " hops over "
+            << stats.distinct_edges_used << " edges, max per-edge load "
+            << stats.max_edge_load_total << " (per-round "
+            << stats.max_edge_load_per_round << ")\n";
+
+  return report.ok && report.minimum_time ? 0 : 2;
+}

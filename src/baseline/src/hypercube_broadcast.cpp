@@ -1,0 +1,32 @@
+#include "shc/baseline/hypercube_broadcast.hpp"
+
+#include <cassert>
+
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+
+BroadcastSchedule hypercube_binomial_broadcast(int n, Vertex source) {
+  assert(n >= 1 && n <= 24);
+  assert(source < cube_order(n));
+  BroadcastSchedule schedule;
+  schedule.source = source;
+  schedule.rounds.reserve(static_cast<std::size_t>(n));
+
+  std::vector<Vertex> informed{source};
+  informed.reserve(cube_order(n));
+  for (Dim i = n; i >= 1; --i) {
+    Round round;
+    round.calls.reserve(informed.size());
+    const std::size_t frontier = informed.size();
+    for (std::size_t w = 0; w < frontier; ++w) {
+      Call call{{informed[w], flip(informed[w], i)}};
+      informed.push_back(call.receiver());
+      round.calls.push_back(std::move(call));
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+}  // namespace shc

@@ -1,0 +1,124 @@
+#include "shc/baseline/path_star.hpp"
+
+#include <cassert>
+#include <deque>
+
+#include "shc/bits/bitstring.hpp"
+
+namespace shc {
+namespace {
+
+/// A maximal run of consecutive path vertices containing exactly one
+/// informed vertex (its owner).
+struct Segment {
+  VertexId lo, hi, owner;
+
+  [[nodiscard]] VertexId uninformed() const noexcept { return hi - lo; }
+};
+
+/// Consecutive-vertex walk from a to b (either direction).
+std::vector<Vertex> straight_path(VertexId a, VertexId b) {
+  std::vector<Vertex> p;
+  if (a <= b) {
+    for (VertexId x = a;; ++x) {
+      p.push_back(x);
+      if (x == b) break;
+    }
+  } else {
+    for (VertexId x = a;; --x) {
+      p.push_back(x);
+      if (x == b) break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+BroadcastSchedule path_line_broadcast(VertexId N, VertexId source) {
+  assert(N >= 1 && source < N);
+  BroadcastSchedule schedule;
+  schedule.source = source;
+
+  std::deque<Segment> segments{{0, N - 1, source}};
+  bool work_left = N > 1;
+  while (work_left) {
+    Round round;
+    std::deque<Segment> next;
+    work_left = false;
+    for (const Segment& seg : segments) {
+      const VertexId q = seg.uninformed();
+      if (q == 0) {
+        next.push_back(seg);
+        continue;
+      }
+      // Give the callee's side ceil(q/2) vertices (callee included), the
+      // owner's side floor(q/2) uninformed; both fit the halved budget.
+      const VertexId s = (q + 1) / 2;
+      const VertexId q_left = seg.owner - seg.lo;
+      const VertexId q_right = seg.hi - seg.owner;
+      Segment mine{0, 0, seg.owner};
+      Segment theirs{0, 0, 0};
+      if (q_right >= q_left) {
+        assert(s <= q_right);
+        const VertexId cut = seg.hi - s;  // owner's side is [lo, cut]
+        mine.lo = seg.lo;
+        mine.hi = cut;
+        theirs.lo = cut + 1;
+        theirs.hi = seg.hi;
+        theirs.owner = cut + 1 + (s - 1) / 2;  // median of the new side
+      } else {
+        assert(s <= q_left);
+        const VertexId cut = seg.lo + s;  // owner's side is [cut, hi]
+        mine.lo = cut;
+        mine.hi = seg.hi;
+        theirs.lo = seg.lo;
+        theirs.hi = cut - 1;
+        theirs.owner = seg.lo + (s - 1) / 2;
+      }
+      round.calls.push_back(Call{straight_path(seg.owner, theirs.owner)});
+      if (mine.uninformed() > 0 || theirs.uninformed() > 0) work_left = true;
+      next.push_back(mine);
+      next.push_back(theirs);
+    }
+    segments.swap(next);
+    if (!round.calls.empty()) schedule.rounds.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+BroadcastSchedule star_line_broadcast(VertexId N, VertexId source) {
+  assert(N >= 2 && source < N);
+  BroadcastSchedule schedule;
+  schedule.source = source;
+
+  std::vector<VertexId> informed{source};
+  std::vector<VertexId> pending;  // uninformed, consumed from the back
+  for (VertexId leaf = 1; leaf < N; ++leaf) {
+    if (leaf != source) pending.push_back(leaf);
+  }
+  if (source != 0) pending.push_back(0);
+  // The center (if uninformed) sits at the back, so a leaf source calls
+  // it first and every later call can switch through an informed center.
+  while (!pending.empty()) {
+    Round round;
+    const std::size_t frontier = informed.size();
+    for (std::size_t i = 0; i < frontier && !pending.empty(); ++i) {
+      const VertexId caller = informed[i];
+      const VertexId target = pending.back();
+      pending.pop_back();
+      Call call;
+      if (caller == 0 || target == 0) {
+        call.path = {caller, target};  // direct spoke
+      } else {
+        call.path = {caller, 0, target};  // switch through the center
+      }
+      informed.push_back(target);
+      round.calls.push_back(std::move(call));
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+}  // namespace shc

@@ -1,0 +1,73 @@
+// Formatting and parsing of vertex bit strings, plus small combinatorial
+// helpers (gray codes, subcube enumeration) used by tests and tools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+
+/// Renders `u` as the paper's notation u_n u_{n-1} ... u_1 (most
+/// significant coordinate first), e.g. to_bitstring(0b0011, 4) == "0011".
+[[nodiscard]] std::string to_bitstring(Vertex u, int n);
+
+/// Parses a bit string in the same orientation ("0011" -> 0b0011).
+/// Returns nullopt on empty input, length > 63, or non-binary characters.
+[[nodiscard]] std::optional<Vertex> parse_bitstring(std::string_view s);
+
+/// The i-th vertex of the binary-reflected Gray code on n bits; walking
+/// i = 0 .. 2^n - 1 traverses a Hamiltonian cycle of Q_n.
+[[nodiscard]] constexpr Vertex gray_code(std::uint64_t i) noexcept {
+  return i ^ (i >> 1);
+}
+
+/// Inverse of gray_code.
+[[nodiscard]] constexpr std::uint64_t gray_rank(Vertex g) noexcept {
+  std::uint64_t i = g;
+  for (int shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+/// Enumerates all vertices of the subcube of Q_n obtained by fixing the
+/// coordinates outside `free_mask` to their values in `base`.  The result
+/// has 2^popcount(free_mask) vertices, in lexicographic order of the free
+/// bits.  Pre: popcount(free_mask) <= 20 (guards accidental blow-up).
+[[nodiscard]] std::vector<Vertex> enumerate_subcube(Vertex base, Vertex free_mask);
+
+/// All single-dimension neighbors of `u` in Q_n, dimensions 1..n in order.
+[[nodiscard]] std::vector<Vertex> cube_neighbors(Vertex u, int n);
+
+/// ceil(log2(x)) for x >= 1; the minimum broadcast time of an x-vertex
+/// network under single-reception models.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
+  int r = 0;
+  std::uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) noexcept {
+  return 63 - __builtin_clzll(x);
+}
+
+/// ceil(a / b) for positive integers.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// ceil(x^(1/k)) for x >= 0, k >= 1, computed exactly with integer
+/// arithmetic (no floating-point edge cases near perfect powers).
+[[nodiscard]] int ceil_root(std::int64_t x, int k) noexcept;
+
+/// r^k with saturation at int64 max (enough for bound tables).
+[[nodiscard]] std::int64_t ipow(std::int64_t r, int k) noexcept;
+
+}  // namespace shc

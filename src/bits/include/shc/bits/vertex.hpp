@@ -1,0 +1,88 @@
+// Vertex representation for binary n-cubes and their subgraphs.
+//
+// Throughout the library a vertex of the binary n-cube Q_n is an n-bit
+// string u = u_n u_{n-1} ... u_1, packed into a std::uint64_t with bit
+// u_i stored at machine-bit position i-1.  Dimensions are 1-based to
+// match the paper (Fujita & Farley, DAM 127 (2003) 431-446): dimension 1
+// is the least significant bit, dimension n the most significant.
+//
+// All operations are O(1); the implicit representation supports n <= 63.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace shc {
+
+/// A vertex of Q_n, n <= 63.  Bit i-1 of the word holds coordinate u_i.
+using Vertex = std::uint64_t;
+
+/// 1-based dimension index into a vertex bit string.
+using Dim = int;
+
+/// Maximum cube dimension representable by Vertex.
+inline constexpr int kMaxCubeDim = 63;
+
+/// Single-bit mask for dimension `i` (1-based).  Pre: 1 <= i <= 63.
+[[nodiscard]] constexpr Vertex dim_bit(Dim i) noexcept {
+  return Vertex{1} << (i - 1);
+}
+
+/// Mask selecting dimensions 1..m (the low-order m coordinates).
+/// Pre: 0 <= m <= 63.  mask_low(0) == 0.
+[[nodiscard]] constexpr Vertex mask_low(int m) noexcept {
+  return (m == 0) ? Vertex{0} : ((Vertex{1} << m) - 1);
+}
+
+/// Mask selecting the half-open dimension window (lo, hi], i.e. bits
+/// lo+1 .. hi.  Pre: 0 <= lo <= hi <= 63.
+[[nodiscard]] constexpr Vertex mask_window(int lo, int hi) noexcept {
+  return mask_low(hi) & ~mask_low(lo);
+}
+
+/// The neighbor of `u` across dimension `i` in Q_n: flips coordinate u_i.
+/// This is the paper's operator "⊕_i u".
+[[nodiscard]] constexpr Vertex flip(Vertex u, Dim i) noexcept {
+  return u ^ dim_bit(i);
+}
+
+/// Coordinate u_i of vertex `u` (0 or 1).
+[[nodiscard]] constexpr int coord(Vertex u, Dim i) noexcept {
+  return static_cast<int>((u >> (i - 1)) & 1U);
+}
+
+/// Extracts the window bits (lo, hi] of `u`, right-aligned: the result's
+/// bit j-1 equals coordinate u_{lo+j}.  Used to read labeling windows.
+[[nodiscard]] constexpr Vertex window_value(Vertex u, int lo, int hi) noexcept {
+  return (u >> lo) & mask_low(hi - lo);
+}
+
+/// Number of vertices of Q_n.  Pre: 0 <= n <= 63.
+[[nodiscard]] constexpr std::uint64_t cube_order(int n) noexcept {
+  return std::uint64_t{1} << n;
+}
+
+/// Hamming weight (number of set coordinates).
+[[nodiscard]] constexpr int weight(Vertex u) noexcept {
+  return __builtin_popcountll(u);
+}
+
+/// Hamming distance between two vertices of the same cube; equals the
+/// graph distance dist_{Q_n}(u, v).
+[[nodiscard]] constexpr int hamming_distance(Vertex u, Vertex v) noexcept {
+  return weight(u ^ v);
+}
+
+/// True iff `u` and `v` differ in exactly one coordinate (adjacent in Q_n).
+[[nodiscard]] constexpr bool cube_adjacent(Vertex u, Vertex v) noexcept {
+  Vertex d = u ^ v;
+  return d != 0 && (d & (d - 1)) == 0;
+}
+
+/// The unique dimension in which adjacent vertices differ.
+/// Pre: cube_adjacent(u, v).
+[[nodiscard]] constexpr Dim differing_dim(Vertex u, Vertex v) noexcept {
+  return __builtin_ctzll(u ^ v) + 1;
+}
+
+}  // namespace shc

@@ -1,0 +1,84 @@
+#include "shc/bits/bitstring.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace shc {
+
+std::string to_bitstring(Vertex u, int n) {
+  assert(n >= 1 && n <= kMaxCubeDim);
+  std::string s(static_cast<std::size_t>(n), '0');
+  for (int i = 1; i <= n; ++i) {
+    if (coord(u, i) != 0) s[static_cast<std::size_t>(n - i)] = '1';
+  }
+  return s;
+}
+
+std::optional<Vertex> parse_bitstring(std::string_view s) {
+  if (s.empty() || s.size() > static_cast<std::size_t>(kMaxCubeDim)) return std::nullopt;
+  Vertex u = 0;
+  for (char c : s) {
+    if (c != '0' && c != '1') return std::nullopt;
+    u = (u << 1) | static_cast<Vertex>(c - '0');
+  }
+  return u;
+}
+
+std::vector<Vertex> enumerate_subcube(Vertex base, Vertex free_mask) {
+  const int f = weight(free_mask);
+  assert(f <= 20 && "subcube enumeration guarded to 2^20 vertices");
+  // Collect the positions (0-based) of the free coordinates.
+  std::vector<int> pos;
+  pos.reserve(static_cast<std::size_t>(f));
+  for (int b = 0; b < 64; ++b) {
+    if ((free_mask >> b) & 1U) pos.push_back(b);
+  }
+  std::vector<Vertex> out;
+  out.reserve(std::size_t{1} << f);
+  const Vertex fixed = base & ~free_mask;
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << f); ++x) {
+    Vertex u = fixed;
+    for (int j = 0; j < f; ++j) {
+      if ((x >> j) & 1U) u |= Vertex{1} << pos[static_cast<std::size_t>(j)];
+    }
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<Vertex> cube_neighbors(Vertex u, int n) {
+  assert(n >= 1 && n <= kMaxCubeDim);
+  std::vector<Vertex> nb;
+  nb.reserve(static_cast<std::size_t>(n));
+  for (Dim i = 1; i <= n; ++i) nb.push_back(flip(u, i));
+  return nb;
+}
+
+int ceil_root(std::int64_t x, int k) noexcept {
+  assert(x >= 0 && k >= 1);
+  if (k == 1 || x <= 1) return static_cast<int>(x);
+  // Smallest r with r^k >= x; r <= x so a doubling + binary search fits.
+  std::int64_t lo = 1, hi = 2;
+  while (ipow(hi, k) < x) hi <<= 1;
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    if (ipow(mid, k) >= x) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+std::int64_t ipow(std::int64_t r, int k) noexcept {
+  std::int64_t acc = 1;
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < k; ++i) {
+    if (r != 0 && acc > kMax / r) return kMax;
+    acc *= r;
+  }
+  return acc;
+}
+
+}  // namespace shc

@@ -1,0 +1,50 @@
+// Dense linear algebra over GF(2) with rows packed into 64-bit words.
+// Sized for coding-theory workloads in this library (dimensions <= 63),
+// not for general-purpose use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace shc {
+
+/// A rows x cols binary matrix, cols <= 63, each row one uint64 word
+/// (bit j = entry in column j).
+class Gf2Matrix {
+ public:
+  Gf2Matrix(int rows, int cols);
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  [[nodiscard]] int get(int r, int c) const noexcept {
+    return static_cast<int>((row_[static_cast<std::size_t>(r)] >> c) & 1U);
+  }
+  void set(int r, int c, int value) noexcept;
+
+  /// Raw packed row (bit j = column j entry).
+  [[nodiscard]] std::uint64_t row_word(int r) const noexcept {
+    return row_[static_cast<std::size_t>(r)];
+  }
+  void set_row_word(int r, std::uint64_t w) noexcept {
+    row_[static_cast<std::size_t>(r)] = w;
+  }
+
+  /// Matrix-vector product over GF(2): bit r of the result is
+  /// <row r, x> mod 2.  `x` is packed with bit j = coordinate j.
+  [[nodiscard]] std::uint64_t mul_vec(std::uint64_t x) const noexcept;
+
+  /// Rank over GF(2) (Gaussian elimination on a copy).
+  [[nodiscard]] int rank() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<std::uint64_t> row_;
+};
+
+/// All 2^dim vectors spanned by the given packed generators (each a
+/// 64-bit row vector).  Pre: generators linearly independent, size <= 20.
+[[nodiscard]] std::vector<std::uint64_t> span(const std::vector<std::uint64_t>& generators);
+
+}  // namespace shc

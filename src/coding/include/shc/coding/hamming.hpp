@@ -1,0 +1,64 @@
+// Binary Hamming codes H(2^p - 1, 2^p - 1 - p) and the perfect-code
+// facts the paper's Lemma 2 rests on:
+//
+//   * the columns of the parity-check matrix are all nonzero p-bit
+//     vectors, so flipping coordinate i of a word changes its syndrome
+//     by the i-th column — a bijection between the coordinates of a word
+//     and the other 2^p - 1 syndromes;
+//   * hence the closed neighborhood of any vertex of Q_m (m = 2^p - 1)
+//     realizes every syndrome exactly once, and each syndrome class
+//     (coset of the code) is a perfect dominating set of Q_m.
+//
+// The labeling module turns these facts into Condition-A labelings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shc/bits/vertex.hpp"
+#include "shc/coding/gf2.hpp"
+
+namespace shc {
+
+/// The binary Hamming code of redundancy `p` (1 <= p <= 6): block length
+/// m = 2^p - 1, 2^p syndrome classes.
+class HammingCode {
+ public:
+  explicit HammingCode(int p);
+
+  [[nodiscard]] int redundancy() const noexcept { return p_; }
+  [[nodiscard]] int length() const noexcept { return m_; }
+  [[nodiscard]] int num_syndromes() const noexcept { return 1 << p_; }
+
+  /// Syndrome of a length-m word (coordinate i of the word at machine
+  /// bit i-1, matching Vertex packing).  Value in [0, 2^p).
+  [[nodiscard]] std::uint32_t syndrome(Vertex word) const noexcept;
+
+  /// Column i (1-based coordinate) of the parity-check matrix — equals
+  /// the syndrome delta caused by flipping coordinate i.  By
+  /// construction column i is the p-bit value i.
+  [[nodiscard]] std::uint32_t column(Dim i) const noexcept;
+
+  /// For a word with syndrome s and any target syndrome t != s, the
+  /// unique coordinate whose flip moves the word into syndrome class t.
+  [[nodiscard]] Dim correcting_dim(std::uint32_t s, std::uint32_t t) const noexcept;
+
+  /// All codewords (syndrome-0 words).  Pre: p <= 5 (2^26 words at p=6
+  /// is wasteful; tests use p <= 4).
+  [[nodiscard]] std::vector<Vertex> codewords() const;
+
+  /// The parity check matrix as a p x m GF(2) matrix.
+  [[nodiscard]] const Gf2Matrix& parity_check() const noexcept { return check_; }
+
+ private:
+  int p_;
+  int m_;
+  Gf2Matrix check_;
+};
+
+/// True iff `code` (a set of length-m words) is a perfect 1-covering of
+/// Q_m: every word of Q_m is within Hamming distance 1 of exactly one
+/// element.  Used by tests to certify the Hamming construction.
+[[nodiscard]] bool is_perfect_covering(const std::vector<Vertex>& code, int m);
+
+}  // namespace shc

@@ -1,0 +1,67 @@
+#include "shc/coding/gf2.hpp"
+
+#include <cassert>
+
+namespace shc {
+
+Gf2Matrix::Gf2Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  assert(rows >= 0 && cols >= 0 && cols <= 63);
+  row_.assign(static_cast<std::size_t>(rows), 0);
+}
+
+void Gf2Matrix::set(int r, int c, int value) noexcept {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const std::uint64_t bit = std::uint64_t{1} << c;
+  if (value != 0) {
+    row_[static_cast<std::size_t>(r)] |= bit;
+  } else {
+    row_[static_cast<std::size_t>(r)] &= ~bit;
+  }
+}
+
+std::uint64_t Gf2Matrix::mul_vec(std::uint64_t x) const noexcept {
+  std::uint64_t y = 0;
+  for (int r = 0; r < rows_; ++r) {
+    const int parity = __builtin_parityll(row_[static_cast<std::size_t>(r)] & x);
+    y |= static_cast<std::uint64_t>(parity) << r;
+  }
+  return y;
+}
+
+int Gf2Matrix::rank() const {
+  std::vector<std::uint64_t> rows = row_;
+  int rank = 0;
+  for (int c = 0; c < cols_ && rank < rows_; ++c) {
+    const std::uint64_t bit = std::uint64_t{1} << c;
+    int pivot = -1;
+    for (int r = rank; r < rows_; ++r) {
+      if (rows[static_cast<std::size_t>(r)] & bit) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[static_cast<std::size_t>(pivot)], rows[static_cast<std::size_t>(rank)]);
+    for (int r = 0; r < rows_; ++r) {
+      if (r != rank && (rows[static_cast<std::size_t>(r)] & bit)) {
+        rows[static_cast<std::size_t>(r)] ^= rows[static_cast<std::size_t>(rank)];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::uint64_t> span(const std::vector<std::uint64_t>& generators) {
+  assert(generators.size() <= 20);
+  std::vector<std::uint64_t> out;
+  out.reserve(std::size_t{1} << generators.size());
+  out.push_back(0);
+  for (std::uint64_t g : generators) {
+    const std::size_t sz = out.size();
+    for (std::size_t i = 0; i < sz; ++i) out.push_back(out[i] ^ g);
+  }
+  return out;
+}
+
+}  // namespace shc

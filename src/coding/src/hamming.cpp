@@ -1,0 +1,65 @@
+#include "shc/coding/hamming.hpp"
+
+#include <cassert>
+
+namespace shc {
+
+HammingCode::HammingCode(int p)
+    : p_(p), m_((1 << p) - 1), check_(p, (1 << p) - 1) {
+  assert(p >= 1 && p <= 6);
+  // Column i (1-based) of the parity-check matrix is the binary
+  // representation of i itself; every nonzero p-bit vector appears
+  // exactly once, which is the defining property of the Hamming code.
+  for (int r = 0; r < p_; ++r) {
+    std::uint64_t row = 0;
+    for (int i = 1; i <= m_; ++i) {
+      if ((static_cast<unsigned>(i) >> r) & 1U) row |= std::uint64_t{1} << (i - 1);
+    }
+    check_.set_row_word(r, row);
+  }
+}
+
+std::uint32_t HammingCode::syndrome(Vertex word) const noexcept {
+  return static_cast<std::uint32_t>(check_.mul_vec(word));
+}
+
+std::uint32_t HammingCode::column(Dim i) const noexcept {
+  assert(i >= 1 && i <= m_);
+  // With the canonical ordering above, the column for coordinate i is i.
+  return static_cast<std::uint32_t>(i);
+}
+
+Dim HammingCode::correcting_dim(std::uint32_t s, std::uint32_t t) const noexcept {
+  assert(s != t && s < static_cast<std::uint32_t>(num_syndromes()) &&
+         t < static_cast<std::uint32_t>(num_syndromes()));
+  // Flipping coordinate i adds column(i) = i to the syndrome, so the
+  // required coordinate is simply s xor t.
+  return static_cast<Dim>(s ^ t);
+}
+
+std::vector<Vertex> HammingCode::codewords() const {
+  assert(p_ <= 5);
+  std::vector<Vertex> words;
+  words.reserve(cube_order(m_ - p_));
+  for (Vertex u = 0; u < cube_order(m_); ++u) {
+    if (syndrome(u) == 0) words.push_back(u);
+  }
+  return words;
+}
+
+bool is_perfect_covering(const std::vector<Vertex>& code, int m) {
+  assert(m >= 1 && m <= 24);
+  std::vector<std::uint8_t> covered(cube_order(m), 0);
+  for (Vertex c : code) {
+    if (++covered[c] > 1) return false;
+    for (Dim i = 1; i <= m; ++i) {
+      if (++covered[flip(c, i)] > 1) return false;
+    }
+  }
+  for (std::uint8_t x : covered) {
+    if (x != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace shc

@@ -1,0 +1,73 @@
+// Gossip (all-to-all exchange) under the k-line model — the paper's
+// Section-5 future-work direction ("it should be promising to
+// investigate minimum-time gossip graphs [17] under our model").
+//
+// Model: every vertex starts with one token.  Per round, calls are
+// placed exactly as in k-line broadcast (edge-disjoint paths of <= k
+// edges), but a call is a bidirectional *exchange*: afterwards both
+// endpoints know the union of their token sets.  A gossip completes
+// when every vertex knows every token; the trivial lower bound is
+// ceil(log2 N) rounds (each vertex's knowledge at most doubles).
+//
+// Schemes provided:
+//   * hypercube_exchange_gossip — the classic dimension-exchange on the
+//     full Q_n: n rounds of perfect dim-i matchings, k = 1.  Optimal.
+//   * sparse_gather_broadcast_gossip — on a sparse hypercube: reverse
+//     the Broadcast_k schedule to accumulate all tokens at the source
+//     (n rounds), then broadcast them back (n rounds): 2n rounds total
+//     with calls of length <= k.  Whether n rounds are achievable on
+//     o(n)-degree graphs is precisely the open problem; the gossip
+//     bench (E13) reports the measured gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "shc/mlbg/broadcast.hpp"
+#include "shc/mlbg/spec.hpp"
+#include "shc/sim/network.hpp"
+#include "shc/sim/schedule.hpp"
+
+namespace shc {
+
+/// A gossip schedule reuses the broadcast round/call structure; calls
+/// are interpreted as exchanges (direction is irrelevant).
+struct GossipSchedule {
+  std::vector<Round> rounds;
+
+  [[nodiscard]] int num_rounds() const noexcept {
+    return static_cast<int>(rounds.size());
+  }
+};
+
+/// Validation outcome for a gossip schedule.
+struct GossipReport {
+  bool ok = false;
+  std::string error;        ///< empty iff ok
+  int rounds = 0;
+  bool complete = false;    ///< every vertex knows every token
+  bool minimum_time = false;  ///< complete in exactly ceil(log2 N) rounds
+  int max_call_length = 0;
+};
+
+/// Checks a gossip schedule against `net` under the k-line constraints:
+/// per round, paths valid and edge-disjoint with distinct... in gossip
+/// both endpoints receive, so the receiver-uniqueness rule becomes
+/// endpoint-uniqueness: a vertex takes part in at most one exchange per
+/// round.  Knowledge is tracked exactly (N^2 bits; pre: N <= 2^13).
+[[nodiscard]] GossipReport validate_gossip(const NetworkView& net,
+                                           const GossipSchedule& schedule, int k);
+
+/// Dimension-exchange gossip on the full Q_n: round t pairs every vertex
+/// with its neighbor across dimension n-t+1.  n rounds, k = 1, optimal.
+/// Pre: 1 <= n <= 13.
+[[nodiscard]] GossipSchedule hypercube_exchange_gossip(int n);
+
+/// Gather-then-broadcast gossip on a sparse hypercube: the Broadcast_k
+/// schedule from `root` is replayed backwards (leaf calls first) to
+/// accumulate every token at `root`, then forwards to disseminate.
+/// 2n rounds, calls of length <= spec.k().  Pre: spec.n() <= 13.
+[[nodiscard]] GossipSchedule sparse_gather_broadcast_gossip(
+    const SparseHypercubeSpec& spec, Vertex root);
+
+}  // namespace shc

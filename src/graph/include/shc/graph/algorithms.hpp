@@ -1,0 +1,59 @@
+// Graph algorithms used across the library: BFS distances, diameter,
+// connectivity, domination checks, subgraph relations, path queries.
+// Everything here operates on materialized Graphs; sizes are small
+// (<= 2^26 vertices) so single-threaded BFS suffices.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "shc/graph/graph.hpp"
+
+namespace shc {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Single-source BFS distances from `src`; dist[v] == kUnreachable when v
+/// is not reachable.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId src);
+
+/// A shortest path from `src` to `dst` as a vertex sequence
+/// [src, ..., dst], or nullopt if unreachable.  Ties are broken toward
+/// smaller vertex ids (deterministic).
+[[nodiscard]] std::optional<std::vector<VertexId>> shortest_path(const Graph& g,
+                                                                 VertexId src,
+                                                                 VertexId dst);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Graph eccentricity of `src`: max finite BFS distance.  Pre: connected.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, VertexId src);
+
+/// Exact diameter via all-sources BFS.  Pre: connected.  O(V * (V+E)), so
+/// callers should keep V modest (tests use V <= 2^15).
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// True iff every vertex of `g` is in `set` or adjacent to a member of
+/// `set` — i.e. `set` is a dominating set (footnote 2 of the paper).
+[[nodiscard]] bool is_dominating_set(const Graph& g, const std::vector<VertexId>& set);
+
+/// True iff `sub` is a spanning subgraph of `super`: same vertex count
+/// and every edge of `sub` present in `super`.  Sparse hypercubes must
+/// satisfy this with respect to Q_n.
+[[nodiscard]] bool is_spanning_subgraph(const Graph& sub, const Graph& super);
+
+/// Degree histogram: hist[d] = number of vertices of degree d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// True iff `g` is a tree (connected with exactly V-1 edges).
+[[nodiscard]] bool is_tree(const Graph& g);
+
+/// True iff `path` is a walk along existing edges with no repeated edge.
+/// (Repeated vertices are allowed; the k-line model constrains edges.)
+[[nodiscard]] bool is_edge_simple_path(const Graph& g, const std::vector<VertexId>& path);
+
+}  // namespace shc

@@ -1,0 +1,56 @@
+// Generators for the graph families used by the paper and its baselines:
+// binary n-cubes, the Theorem-1 degree-3 tree family, paths, cycles,
+// stars, complete binary trees, caterpillars, and seeded random trees.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "shc/graph/graph.hpp"
+
+namespace shc {
+
+/// Binary n-cube Q_n: 2^n vertices, vertex id == bit string, edges
+/// between ids at Hamming distance 1.  Pre: 1 <= n <= 26 (materialized).
+[[nodiscard]] Graph make_hypercube(int n);
+
+/// Path P_n on n >= 1 vertices: 0-1-2-...-(n-1).
+[[nodiscard]] Graph make_path(VertexId n);
+
+/// Cycle C_n on n >= 3 vertices.
+[[nodiscard]] Graph make_cycle(VertexId n);
+
+/// Star K_{1,n-1}: center 0, leaves 1..n-1.  This is the paper's
+/// minimum-edge k-mlbg for k >= 2 (Section 2).  Pre: n >= 2.
+[[nodiscard]] Graph make_star(VertexId n);
+
+/// Complete binary tree of height h: 2^(h+1)-1 vertices, root 0,
+/// children of v at 2v+1 and 2v+2.  Pre: h >= 0, h <= 24.
+[[nodiscard]] Graph make_complete_binary_tree(int h);
+
+/// The Theorem-1 / Figure-1 family: two complete binary trees of heights
+/// h and h-1 with roots joined by an edge.  |V| = 3*2^h - 2, maximum
+/// degree 3, diameter 2h.  Vertices 0..2^(h+1)-2 form the big tree
+/// (root 0); the rest form the small tree (root 2^(h+1)-1).  Pre: h >= 1.
+[[nodiscard]] Graph make_theorem1_tree(int h);
+
+/// Caterpillar: a spine path of `spine` vertices, each carrying `legs`
+/// pendant leaves.  Pre: spine >= 1, legs >= 0.
+[[nodiscard]] Graph make_caterpillar(VertexId spine, VertexId legs);
+
+/// Uniform random labeled tree on n vertices via a random Prufer
+/// sequence.  Deterministic for a given engine state.  Pre: n >= 1.
+[[nodiscard]] Graph make_random_tree(VertexId n, std::mt19937_64& rng);
+
+/// Diameter of make_theorem1_tree(h) in closed form (= 2h), used by
+/// bound tables without materializing.
+[[nodiscard]] constexpr std::uint32_t theorem1_tree_diameter(int h) noexcept {
+  return static_cast<std::uint32_t>(2 * h);
+}
+
+/// Order of make_theorem1_tree(h) in closed form (= 3*2^h - 2).
+[[nodiscard]] constexpr std::uint64_t theorem1_tree_order(int h) noexcept {
+  return 3 * (std::uint64_t{1} << h) - 2;
+}
+
+}  // namespace shc

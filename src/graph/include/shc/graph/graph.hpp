@@ -1,0 +1,92 @@
+// Compact undirected graph in compressed-sparse-row form, plus a mutable
+// builder.  This is the materialized-graph substrate used by analysis
+// code, baselines, and tests; the sparse-hypercube core also exposes an
+// implicit O(1) edge oracle that avoids materialization for large n.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace shc {
+
+/// Dense vertex index of a materialized graph: 0 .. num_vertices()-1.
+/// For cube-derived graphs the index of a vertex equals its bit string.
+using VertexId = std::uint32_t;
+
+/// An undirected edge with canonical orientation a <= b.
+struct Edge {
+  VertexId a = 0;
+  VertexId b = 0;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Canonicalizes an endpoint pair into an Edge.
+[[nodiscard]] constexpr Edge make_edge(VertexId u, VertexId v) noexcept {
+  return (u <= v) ? Edge{u, v} : Edge{v, u};
+}
+
+class Graph;
+
+/// Accumulates edges, then freezes into a CSR Graph.  Duplicate edges and
+/// self-loops are rejected at build() (the k-line model is on simple
+/// graphs); insertion order does not matter.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices) : n_(num_vertices) {}
+
+  /// Adds the undirected edge {u, v}.  Pre: u, v < num_vertices, u != v.
+  void add_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Freezes into an immutable Graph.  Aborts (assert) on duplicate edges
+  /// or self-loops; both indicate construction bugs upstream.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  VertexId n_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable undirected graph in CSR form.  Neighbor lists are sorted, so
+/// has_edge() is O(log deg) and iteration order is deterministic.
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Sorted neighbors of `u`.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const noexcept {
+    return {adjacency_.data() + offsets_[u], adjacency_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId u) const noexcept {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+
+  /// All edges in canonical (a <= b, lexicographic) order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Maximum vertex degree; 0 for the empty graph.
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// Minimum vertex degree; 0 for the empty graph.
+  [[nodiscard]] std::size_t min_degree() const noexcept;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;   // size num_vertices()+1
+  std::vector<VertexId> adjacency_;    // size 2*num_edges()
+};
+
+}  // namespace shc

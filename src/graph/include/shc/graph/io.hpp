@@ -1,0 +1,43 @@
+// Text serialization of graphs: Graphviz DOT, plain edge lists, and
+// aligned ASCII tables used by the bench harness to print paper-shaped
+// results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "shc/graph/graph.hpp"
+
+namespace shc {
+
+/// Writes `g` as an undirected Graphviz DOT graph.  When `bits > 0`,
+/// vertex labels are rendered as `bits`-wide binary strings (the paper's
+/// notation); otherwise decimal ids are used.
+void write_dot(std::ostream& os, const Graph& g, std::string_view name, int bits = 0);
+
+/// Writes one `u v` pair per line, canonical order, decimal ids.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Minimal aligned-column table writer.  Usage:
+///   TextTable t({"n", "Delta", "bound"});
+///   t.add_row({"8", "4", "6"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with right-aligned columns, a header underline, and two
+  /// spaces between columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace shc

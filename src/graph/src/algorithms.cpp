@@ -1,0 +1,125 @@
+#include "shc/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+namespace shc {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId src) {
+  assert(src < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::vector<VertexId> frontier{src};
+  dist[src] = 0;
+  std::uint32_t d = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : g.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = d;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::optional<std::vector<VertexId>> shortest_path(const Graph& g, VertexId src,
+                                                   VertexId dst) {
+  assert(src < g.num_vertices() && dst < g.num_vertices());
+  if (src == dst) return std::vector<VertexId>{src};
+  // BFS from dst so the path can be rebuilt by walking downhill from src.
+  const auto dist = bfs_distances(g, dst);
+  if (dist[src] == kUnreachable) return std::nullopt;
+  std::vector<VertexId> path{src};
+  VertexId cur = src;
+  while (cur != dst) {
+    // Neighbor lists are sorted, so taking the first strictly-closer
+    // neighbor yields a deterministic path.
+    VertexId next = cur;
+    for (VertexId v : g.neighbors(cur)) {
+      if (dist[v] + 1 == dist[cur]) {
+        next = v;
+        break;
+      }
+    }
+    assert(next != cur && "BFS tree invariant violated");
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    assert(d != kUnreachable && "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    diam = std::max(diam, eccentricity(g, u));
+  }
+  return diam;
+}
+
+bool is_dominating_set(const Graph& g, const std::vector<VertexId>& set) {
+  std::vector<char> covered(g.num_vertices(), 0);
+  for (VertexId u : set) {
+    assert(u < g.num_vertices());
+    covered[u] = 1;
+    for (VertexId v : g.neighbors(u)) covered[v] = 1;
+  }
+  return std::all_of(covered.begin(), covered.end(), [](char c) { return c != 0; });
+}
+
+bool is_spanning_subgraph(const Graph& sub, const Graph& super) {
+  if (sub.num_vertices() != super.num_vertices()) return false;
+  for (VertexId u = 0; u < sub.num_vertices(); ++u) {
+    for (VertexId v : sub.neighbors(u)) {
+      if (u < v && !super.has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) ++hist[g.degree(u)];
+  return hist;
+}
+
+bool is_tree(const Graph& g) {
+  return g.num_vertices() >= 1 && g.num_edges() == g.num_vertices() - 1 &&
+         is_connected(g);
+}
+
+bool is_edge_simple_path(const Graph& g, const std::vector<VertexId>& path) {
+  if (path.empty()) return false;
+  std::set<Edge> used;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.has_edge(path[i], path[i + 1])) return false;
+    if (!used.insert(make_edge(path[i], path[i + 1])).second) return false;
+  }
+  return true;
+}
+
+}  // namespace shc

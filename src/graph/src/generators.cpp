@@ -1,0 +1,114 @@
+#include "shc/graph/generators.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+
+Graph make_hypercube(int n) {
+  assert(n >= 1 && n <= 26);
+  const VertexId order = static_cast<VertexId>(cube_order(n));
+  GraphBuilder b(order);
+  for (VertexId u = 0; u < order; ++u) {
+    for (Dim i = 1; i <= n; ++i) {
+      const VertexId v = static_cast<VertexId>(flip(u, i));
+      if (u < v) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_path(VertexId n) {
+  assert(n >= 1);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  return std::move(b).build();
+}
+
+Graph make_cycle(VertexId n) {
+  assert(n >= 3);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  b.add_edge(n - 1, 0);
+  return std::move(b).build();
+}
+
+Graph make_star(VertexId n) {
+  assert(n >= 2);
+  GraphBuilder b(n);
+  for (VertexId u = 1; u < n; ++u) b.add_edge(0, u);
+  return std::move(b).build();
+}
+
+Graph make_complete_binary_tree(int h) {
+  assert(h >= 0 && h <= 24);
+  const VertexId order = static_cast<VertexId>((std::uint64_t{1} << (h + 1)) - 1);
+  GraphBuilder b(order);
+  for (VertexId v = 1; v < order; ++v) b.add_edge(v, (v - 1) / 2);
+  return std::move(b).build();
+}
+
+Graph make_theorem1_tree(int h) {
+  assert(h >= 1 && h <= 24);
+  const VertexId big = static_cast<VertexId>((std::uint64_t{1} << (h + 1)) - 1);
+  const VertexId small = static_cast<VertexId>((std::uint64_t{1} << h) - 1);
+  GraphBuilder b(big + small);
+  // Big tree: root 0, heap numbering over ids [0, big).
+  for (VertexId v = 1; v < big; ++v) b.add_edge(v, (v - 1) / 2);
+  // Small tree: root `big`, heap numbering over ids [big, big+small).
+  for (VertexId v = 1; v < small; ++v) b.add_edge(big + v, big + (v - 1) / 2);
+  // The joining edge between the two roots (Figure 1's central edge).
+  b.add_edge(0, big);
+  return std::move(b).build();
+}
+
+Graph make_caterpillar(VertexId spine, VertexId legs) {
+  assert(spine >= 1);
+  GraphBuilder b(spine * (legs + 1));
+  for (VertexId s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  for (VertexId s = 0; s < spine; ++s) {
+    for (VertexId l = 0; l < legs; ++l) b.add_edge(s, spine + s * legs + l);
+  }
+  return std::move(b).build();
+}
+
+Graph make_random_tree(VertexId n, std::mt19937_64& rng) {
+  assert(n >= 1);
+  if (n == 1) {
+    GraphBuilder b(1);
+    return std::move(b).build();
+  }
+  if (n == 2) {
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    return std::move(b).build();
+  }
+  // Decode a uniform random Prufer sequence of length n-2.
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  std::vector<VertexId> prufer(n - 2);
+  for (auto& p : prufer) p = pick(rng);
+
+  std::vector<int> deg(n, 1);
+  for (VertexId p : prufer) ++deg[p];
+
+  GraphBuilder b(n);
+  VertexId ptr = 0;
+  while (deg[ptr] != 1) ++ptr;
+  VertexId leaf = ptr;
+  for (VertexId p : prufer) {
+    b.add_edge(leaf, p);
+    if (--deg[p] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      while (deg[++ptr] != 1) {
+      }
+      leaf = ptr;
+    }
+  }
+  b.add_edge(leaf, n - 1);
+  return std::move(b).build();
+}
+
+}  // namespace shc

@@ -1,0 +1,71 @@
+#include "shc/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shc {
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  assert(u < n_ && v < n_ && "endpoint out of range");
+  assert(u != v && "self-loops are not allowed");
+  edges_.push_back(make_edge(u, v));
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  assert(std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end() &&
+         "duplicate edge inserted");
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.offsets_[e.a + 1];
+    ++g.offsets_[e.b + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.adjacency_[cursor[e.a]++] = e.b;
+    g.adjacency_[cursor[e.b]++] = e.a;
+  }
+  for (VertexId u = 0; u < n_; ++u) {
+    auto first = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]);
+    auto last = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]);
+    std::sort(first, last);
+  }
+  return g;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) out.push_back(Edge{u, v});
+    }
+  }
+  return out;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) d = std::max(d, degree(u));
+  return d;
+}
+
+std::size_t Graph::min_degree() const noexcept {
+  if (num_vertices() == 0) return 0;
+  std::size_t d = degree(0);
+  for (VertexId u = 1; u < num_vertices(); ++u) d = std::min(d, degree(u));
+  return d;
+}
+
+}  // namespace shc

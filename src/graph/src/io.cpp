@@ -1,0 +1,56 @@
+#include "shc/graph/io.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "shc/bits/bitstring.hpp"
+
+namespace shc {
+
+void write_dot(std::ostream& os, const Graph& g, std::string_view name, int bits) {
+  os << "graph " << name << " {\n";
+  os << "  node [shape=circle fontsize=10];\n";
+  if (bits > 0) {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      os << "  v" << u << " [label=\"" << to_bitstring(u, bits) << "\"];\n";
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  v" << e.a << " -- v" << e.b << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  for (const Edge& e : g.edges()) os << e.a << ' ' << e.b << '\n';
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size() && "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::string(width[c] - row[c].size(), ' ') << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace shc

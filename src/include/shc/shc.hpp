@@ -1,0 +1,32 @@
+// Umbrella header for the sparse-hypercube library.
+//
+// Quick tour:
+//   SparseHypercubeSpec::construct_base(n, m)  — the paper's k = 2 graph
+//   design_sparse_hypercube(n, k)              — best cuts for general k
+//   make_broadcast_schedule(spec, source)      — Broadcast_k scheme
+//   validate_minimum_time_k_line(view, s, k)   — mechanical model check
+#pragma once
+
+#include "shc/bits/bitstring.hpp"
+#include "shc/bits/vertex.hpp"
+#include "shc/graph/algorithms.hpp"
+#include "shc/graph/generators.hpp"
+#include "shc/graph/graph.hpp"
+#include "shc/graph/io.hpp"
+#include "shc/coding/gf2.hpp"
+#include "shc/coding/hamming.hpp"
+#include "shc/gossip/gossip.hpp"
+#include "shc/labeling/domatic.hpp"
+#include "shc/labeling/labeling.hpp"
+#include "shc/mlbg/analysis.hpp"
+#include "shc/mlbg/bounds.hpp"
+#include "shc/mlbg/broadcast.hpp"
+#include "shc/mlbg/params.hpp"
+#include "shc/mlbg/spec.hpp"
+#include "shc/sim/congestion.hpp"
+#include "shc/sim/network.hpp"
+#include "shc/sim/schedule.hpp"
+#include "shc/sim/validator.hpp"
+#include "shc/baseline/hypercube_broadcast.hpp"
+#include "shc/baseline/path_star.hpp"
+#include "shc/baseline/tree_broadcast.hpp"

@@ -1,0 +1,40 @@
+// Exact maximum Condition-A labelings of Q_m by branch-and-bound.
+//
+// The maximum number of labels lambda_m equals the domatic number of
+// Q_m (a partition into dominating sets is exactly a Condition-A
+// labeling).  Known small values certified by this solver and pinned in
+// tests: lambda_1 = 2, lambda_2 = 2, lambda_3 = 4, lambda_4 = 4,
+// lambda_5 = 4 (the m = 2 case shows the paper's lower bound
+// floor(m/2) + 1 is tight).
+//
+// The search assigns labels to vertices in numeric order with two
+// prunings: (a) feasibility — a closed neighborhood whose undecided
+// slots cannot cover its missing labels fails; (b) symmetry — vertex 0's
+// neighborhood labels are fixed canonically up to label renaming.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "shc/labeling/labeling.hpp"
+
+namespace shc {
+
+/// Searches for a Condition-A labeling of Q_m with exactly
+/// `num_labels` labels.  `node_budget` caps explored search nodes
+/// (returns nullopt when exhausted — callers treat that as "unknown").
+[[nodiscard]] std::optional<CubeLabeling> find_condition_a_labeling(
+    int m, Label num_labels, std::uint64_t node_budget = 50'000'000);
+
+/// Result of the exact maximization.
+struct DomaticResult {
+  Label lambda = 0;         ///< best label count found
+  bool proven_optimal = false;  ///< true when lambda+1 was refuted within budget
+};
+
+/// Computes lambda_m by descending search from the upper bound m + 1.
+/// Pre: 1 <= m <= 6 (Q_6 = 64 vertices is the practical ceiling).
+[[nodiscard]] DomaticResult max_condition_a_labels(
+    int m, std::uint64_t node_budget = 50'000'000);
+
+}  // namespace shc

@@ -1,0 +1,95 @@
+// Condition-A labelings of Q_m (Section 3 of the paper).
+//
+// A labeling f : V(Q_m) -> C satisfies Condition A iff for every vertex
+// u the closed neighborhood N[u] realizes every label of C — equivalently
+// each label class is a dominating set of Q_m, i.e. the classes form a
+// domatic partition.  The number of labels lambda drives the sparse
+// hypercube's degree: the n - m cross dimensions are split into lambda
+// groups, so bigger lambda means fewer cross edges per vertex.
+//
+// Constructions provided (Lemma 2):
+//   * trivial:    lambda = 1, any m;
+//   * Hamming:    lambda = m + 1 when m = 2^p - 1 (optimal — matches the
+//                 upper bound lambda <= m + 1);
+//   * recursive:  lambda = m' + 1 >= (m + 1) / 2 for general m, where
+//                 m' is the largest 2^p - 1 <= m (label by the Hamming
+//                 syndrome of the low m' coordinates);
+//   * exact:      branch-and-bound search for the true maximum (small m),
+//                 in domatic.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+
+/// Label index into a Condition-A labeling; the paper's c_{j+1}.
+using Label = std::uint32_t;
+
+/// A labeling of V(Q_m) by labels 0 .. num_labels-1.
+class CubeLabeling {
+ public:
+  /// Pre: 1 <= m <= 24; labels.size() == 2^m; every value < num_labels.
+  CubeLabeling(int m, Label num_labels, std::vector<Label> labels);
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] Label num_labels() const noexcept { return num_labels_; }
+
+  /// Label of the length-m word `u` (the paper's f(u)).
+  [[nodiscard]] Label at(Vertex u) const noexcept {
+    return labels_[static_cast<std::size_t>(u)];
+  }
+
+  /// The word reached from `u` by one coordinate flip (or u itself) whose
+  /// label is `want`; encoded as the flip dimension in 1..m, or 0 when u
+  /// itself carries the label.  Pre: Condition A holds (the table is
+  /// built by condition-A-checked factories).  O(1) via precomputed map.
+  [[nodiscard]] Dim flip_towards(Vertex u, Label want) const noexcept {
+    return flip_to_[static_cast<std::size_t>(u) * num_labels_ + want];
+  }
+
+  /// Checks Condition A exhaustively (every closed neighborhood realizes
+  /// every label).  The factories below only return labelings for which
+  /// this holds; exposed for tests and user-supplied labelings.
+  [[nodiscard]] bool satisfies_condition_a() const noexcept;
+
+  /// Sizes of the label classes.
+  [[nodiscard]] std::vector<std::size_t> class_sizes() const;
+
+  /// Members of one label class (a dominating set of Q_m).
+  [[nodiscard]] std::vector<Vertex> label_class(Label c) const;
+
+ private:
+  void build_flip_table();
+
+  int m_;
+  Label num_labels_;
+  std::vector<Label> labels_;  // size 2^m
+  std::vector<Dim> flip_to_;   // size 2^m * num_labels, 0 = "self"
+};
+
+/// The trivial 1-label labeling (always satisfies Condition A).
+[[nodiscard]] CubeLabeling trivial_labeling(int m);
+
+/// Hamming syndrome labeling of Q_{2^p - 1}: lambda = 2^p = m + 1 labels.
+/// Optimal by the upper bound of Lemma 2.  Pre: 1 <= p <= 4 in tests
+/// (table size 2^m grows fast; p <= 4 means m <= 15).
+[[nodiscard]] CubeLabeling hamming_labeling(int p);
+
+/// Lemma-2 labeling for arbitrary m >= 1: Hamming on the low m' bits
+/// with m' the largest 2^p - 1 <= m.  lambda = m' + 1 >= (m + 1) / 2.
+[[nodiscard]] CubeLabeling lemma2_labeling(int m);
+
+/// Number of labels lemma2_labeling(m) yields, in closed form (no table
+/// construction) — used for degree formulas at large m.
+[[nodiscard]] Label lemma2_num_labels(int m) noexcept;
+
+/// The paper's Example-1 labelings, pinned for tests and the Figure 2/3
+/// reconstruction: f(00)=f(11)=c1, f(01)=f(10)=c2 for m=2, and the
+/// 4-label m=3 labeling.
+[[nodiscard]] CubeLabeling example1_labeling_m2();
+[[nodiscard]] CubeLabeling example1_labeling_m3();
+
+}  // namespace shc

@@ -1,0 +1,131 @@
+#include "shc/labeling/domatic.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace shc {
+namespace {
+
+/// Backtracking state for one (m, lambda) search.
+class DomaticSearch {
+ public:
+  DomaticSearch(int m, Label lambda, std::uint64_t budget)
+      : m_(m),
+        order_(static_cast<std::uint32_t>(cube_order(m))),
+        lambda_(lambda),
+        full_mask_((1U << lambda) - 1),
+        budget_(budget) {
+    label_.fill(kUnset);
+    present_.fill(0);
+    // Closed neighborhoods have m + 1 members in Q_m.
+    undecided_.fill(static_cast<std::uint8_t>(m + 1));
+  }
+
+  /// Runs the search.  Returns true with `label_` filled on success;
+  /// false on refutation; sets `exhausted_` when the budget ran out.
+  bool run() { return assign(0, 0); }
+
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+  [[nodiscard]] std::vector<Label> labels() const {
+    return std::vector<Label>(label_.begin(), label_.begin() + order_);
+  }
+
+ private:
+  static constexpr Label kUnset = 0xFFFFFFFFU;
+
+  /// Applies label c to vertex u; returns false if some closed
+  /// neighborhood becomes infeasible (missing labels exceed undecided
+  /// slots).  Caller must undo() on both outcomes' unwind.
+  bool apply(std::uint32_t u, Label c) {
+    label_[u] = c;
+    bool ok = true;
+    for_closed_neighborhood(u, [&](std::uint32_t w) {
+      present_count_[w][c]++;
+      if (present_count_[w][c] == 1) present_[w] |= (1U << c);
+      undecided_[w]--;
+      const std::uint32_t missing = full_mask_ & ~present_[w];
+      if (static_cast<int>(__builtin_popcount(missing)) > undecided_[w]) ok = false;
+    });
+    return ok;
+  }
+
+  void undo(std::uint32_t u, Label c) {
+    for_closed_neighborhood(u, [&](std::uint32_t w) {
+      undecided_[w]++;
+      present_count_[w][c]--;
+      if (present_count_[w][c] == 0) present_[w] &= ~(1U << c);
+    });
+    label_[u] = kUnset;
+  }
+
+  template <typename F>
+  void for_closed_neighborhood(std::uint32_t u, F&& f) {
+    f(u);
+    for (Dim i = 1; i <= m_; ++i) f(static_cast<std::uint32_t>(flip(u, i)));
+  }
+
+  bool assign(std::uint32_t u, Label max_used) {
+    if (u == order_) return true;
+    if (nodes_++ >= budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    // Symmetry breaking: the next vertex may reuse any seen label or
+    // introduce exactly the next fresh one.
+    const Label limit = std::min<Label>(lambda_ - 1, max_used + (u == 0 ? 0 : 1));
+    for (Label c = 0; c <= limit; ++c) {
+      if (apply(u, c)) {
+        if (assign(u + 1, std::max(max_used, c))) return true;
+        if (exhausted_) {
+          undo(u, c);
+          return false;
+        }
+      }
+      undo(u, c);
+    }
+    return false;
+  }
+
+  int m_;
+  std::uint32_t order_;
+  Label lambda_;
+  std::uint32_t full_mask_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+  std::array<Label, 64> label_{};
+  std::array<std::uint32_t, 64> present_{};           // label bitmask in N[w]
+  std::array<std::array<std::uint8_t, 8>, 64> present_count_{};
+  std::array<std::uint8_t, 64> undecided_{};          // unassigned slots in N[w]
+};
+
+}  // namespace
+
+std::optional<CubeLabeling> find_condition_a_labeling(int m, Label num_labels,
+                                                      std::uint64_t node_budget) {
+  assert(m >= 1 && m <= 6);
+  assert(num_labels >= 1 && num_labels <= 8);
+  if (num_labels > static_cast<Label>(m) + 1) return std::nullopt;  // upper bound
+  if (num_labels == 1) return trivial_labeling(m);
+  DomaticSearch search(m, num_labels, node_budget);
+  if (!search.run()) return std::nullopt;
+  return CubeLabeling(m, num_labels, search.labels());
+}
+
+DomaticResult max_condition_a_labels(int m, std::uint64_t node_budget) {
+  assert(m >= 1 && m <= 6);
+  DomaticResult result;
+  result.proven_optimal = true;
+  for (Label lambda = static_cast<Label>(m) + 1; lambda >= 1; --lambda) {
+    DomaticSearch search(m, lambda, node_budget);
+    if (lambda == 1 || search.run()) {
+      result.lambda = lambda;
+      return result;
+    }
+    if (search.exhausted()) result.proven_optimal = false;
+  }
+  return result;  // unreachable: lambda = 1 always succeeds
+}
+
+}  // namespace shc

@@ -1,0 +1,105 @@
+#include "shc/labeling/labeling.hpp"
+
+#include <cassert>
+
+#include "shc/coding/hamming.hpp"
+
+namespace shc {
+
+CubeLabeling::CubeLabeling(int m, Label num_labels, std::vector<Label> labels)
+    : m_(m), num_labels_(num_labels), labels_(std::move(labels)) {
+  assert(m >= 1 && m <= 24);
+  assert(num_labels_ >= 1);
+  assert(labels_.size() == cube_order(m_));
+#ifndef NDEBUG
+  for (Label l : labels_) assert(l < num_labels_);
+#endif
+  build_flip_table();
+}
+
+void CubeLabeling::build_flip_table() {
+  // flip_to_[u * lambda + c] = 0 if f(u) == c, else the smallest
+  // dimension i with f(flip(u, i)) == c, else -1 (Condition A violated
+  // at (u, c)).
+  flip_to_.assign(labels_.size() * num_labels_, -1);
+  for (Vertex u = 0; u < labels_.size(); ++u) {
+    const std::size_t base = static_cast<std::size_t>(u) * num_labels_;
+    flip_to_[base + at(u)] = 0;
+    for (Dim i = m_; i >= 1; --i) {
+      const Label c = at(flip(u, i));
+      if (c != at(u)) flip_to_[base + c] = i;
+    }
+  }
+}
+
+bool CubeLabeling::satisfies_condition_a() const noexcept {
+  for (Dim d : flip_to_) {
+    if (d < 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> CubeLabeling::class_sizes() const {
+  std::vector<std::size_t> sizes(num_labels_, 0);
+  for (Label l : labels_) ++sizes[l];
+  return sizes;
+}
+
+std::vector<Vertex> CubeLabeling::label_class(Label c) const {
+  assert(c < num_labels_);
+  std::vector<Vertex> members;
+  for (Vertex u = 0; u < labels_.size(); ++u) {
+    if (labels_[static_cast<std::size_t>(u)] == c) members.push_back(u);
+  }
+  return members;
+}
+
+CubeLabeling trivial_labeling(int m) {
+  return CubeLabeling(m, 1, std::vector<Label>(cube_order(m), 0));
+}
+
+CubeLabeling hamming_labeling(int p) {
+  assert(p >= 1 && p <= 4);
+  const HammingCode code(p);
+  const int m = code.length();
+  std::vector<Label> labels(cube_order(m));
+  for (Vertex u = 0; u < labels.size(); ++u) {
+    labels[static_cast<std::size_t>(u)] = code.syndrome(u);
+  }
+  return CubeLabeling(m, static_cast<Label>(code.num_syndromes()), std::move(labels));
+}
+
+Label lemma2_num_labels(int m) noexcept {
+  assert(m >= 1);
+  // Largest m' = 2^p - 1 with m' <= m; lambda = m' + 1.
+  unsigned p = 1;
+  while (((1U << (p + 1)) - 1) <= static_cast<unsigned>(m)) ++p;
+  return (1U << p);
+}
+
+CubeLabeling lemma2_labeling(int m) {
+  assert(m >= 1 && m <= 24);
+  const Label lambda = lemma2_num_labels(m);
+  int p = 0;
+  while ((1U << p) < lambda) ++p;
+  const HammingCode code(p);
+  const Vertex low = mask_low(code.length());
+  std::vector<Label> labels(cube_order(m));
+  for (Vertex u = 0; u < labels.size(); ++u) {
+    labels[static_cast<std::size_t>(u)] = code.syndrome(u & low);
+  }
+  return CubeLabeling(m, lambda, std::move(labels));
+}
+
+CubeLabeling example1_labeling_m2() {
+  // f(00) = f(11) = c1 (label 0); f(01) = f(10) = c2 (label 1).
+  return CubeLabeling(2, 2, {0, 1, 1, 0});
+}
+
+CubeLabeling example1_labeling_m3() {
+  // f(000)=f(111)=c1, f(001)=f(110)=c2, f(010)=f(101)=c3, f(011)=f(100)=c4;
+  // indices below are the words 000..111 in numeric order.
+  return CubeLabeling(3, 4, {0, 1, 2, 3, 3, 2, 1, 0});
+}
+
+}  // namespace shc

@@ -1,0 +1,48 @@
+// Minimum-time k-line broadcast schemes for sparse hypercubes
+// (Scheme Broadcast_2, Theorem 4; Scheme Broadcast_k, Theorem 6).
+//
+// The implementation unifies the paper's recursive phases into a single
+// dimension sweep: for i = n down to 1 every informed vertex w places
+// one call realizing the dimension-i flip via route_flip().  Rounds
+// 1 .. n-c_{k-1} are the paper's Phase 1 at the outermost level; the
+// remaining rounds are the recursive Phase 2 calls, which at every
+// recursion depth are themselves dimension sweeps — concatenating them
+// yields exactly this loop.  Tests cross-check the unified scheme
+// against a literal transcription of Broadcast_2 for k = 2.
+#pragma once
+
+#include "shc/mlbg/spec.hpp"
+#include "shc/sim/schedule.hpp"
+
+namespace shc {
+
+/// Path realizing the dimension-i flip from u (the paper's Remark 1 /
+/// Phase-1 detour):
+///   * the direct edge {u, flip(u, i)} when present (length 1);
+///   * otherwise a recursive walk to a nearby vertex v whose label owns
+///     dimension i (perturbing only dimensions below the owning window),
+///     followed by the edge {v, flip(v, i)}.
+/// The result starts at u, ends at flip(v, i) for some v that agrees
+/// with u on all dimensions >= the owning window's top, and has length
+/// <= level(i) + 2 <= k.
+[[nodiscard]] std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u,
+                                             Dim i);
+
+/// Worst-case route_flip length for dimension i in this spec
+/// (= owning level index + 2; 1 for core dimensions).
+[[nodiscard]] int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept;
+
+/// The unified Broadcast_k scheme from `source`: n rounds, round t
+/// sweeping dimension n - t + 1, informed set exactly doubling.  The
+/// schedule is k-line feasible for k = spec.k() (validated in tests via
+/// the simulator, never assumed).  Memory: 2^n calls; pre: n <= 24.
+[[nodiscard]] BroadcastSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec,
+                                                        Vertex source);
+
+/// Literal transcription of the paper's Scheme Broadcast_2 (two explicit
+/// phases).  Pre: spec.k() == 2.  Used by tests to certify that the
+/// unified scheme equals the published one.
+[[nodiscard]] BroadcastSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec,
+                                                        Vertex source);
+
+}  // namespace shc

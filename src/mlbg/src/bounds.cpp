@@ -1,0 +1,56 @@
+#include "shc/mlbg/bounds.hpp"
+
+#include <cassert>
+
+#include "shc/bits/bitstring.hpp"
+
+namespace shc {
+
+int theorem1_k_threshold(std::uint64_t N) noexcept {
+  assert(N >= 1);
+  return 2 * ceil_log2((N + 2) / 3 + ((N + 2) % 3 != 0 ? 1 : 0));
+}
+
+int counting_lower_bound(int n, int k) noexcept {
+  assert(n >= 1 && k >= 1);
+  for (int delta = 1;; ++delta) {
+    // Vertices within distance k of the source, excluding the source:
+    // delta * sum_{i=0}^{k-1} (delta-1)^i.
+    std::int64_t reach = 0;
+    std::int64_t term = delta;
+    for (int i = 0; i < k && reach < n; ++i) {
+      reach += term;
+      term *= (delta - 1);
+    }
+    if (reach >= n) return delta;
+  }
+}
+
+int lower_bound_max_degree(int n, int k) noexcept {
+  assert(n >= 1 && k >= 1);
+  if (k == 1) return n;  // the source's n calls all go to direct neighbors
+  if (k <= 4) return ceil_root(n, k);
+  // Theorem 3: Delta >= 3 and n <= 3((Delta-1)^k - 1).
+  int delta = 3;
+  while (3 * (ipow(delta - 1, k) - 1) < n) ++delta;
+  return delta;
+}
+
+int theorem5_upper(int n) noexcept {
+  assert(n >= 1);
+  return 2 * ceil_root(2 * n + 4, 2) - 4;
+}
+
+int theorem7_upper(int n, int k) noexcept {
+  assert(n > k && k >= 2);
+  return (2 * k - 1) * ceil_root(n, k) - k;
+}
+
+int corollary1_upper(int n) noexcept {
+  assert(n >= 2);
+  return 4 * ceil_log2(static_cast<std::uint64_t>(n)) - 2;
+}
+
+int diameter_upper(int n, int k) noexcept { return k * n; }
+
+}  // namespace shc

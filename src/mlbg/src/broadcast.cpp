@@ -1,0 +1,117 @@
+#include "shc/mlbg/broadcast.hpp"
+
+#include <cassert>
+
+namespace shc {
+
+std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u, Dim i) {
+  assert(i >= 1 && i <= spec.n());
+  if (spec.has_edge_dim(u, i)) return {u, flip(u, i)};
+
+  const int t = spec.level_of_dim(i);
+  assert(t >= 0 && "core dimensions always have edges");
+  const ConstructionLevel& lv = spec.levels()[static_cast<std::size_t>(t)];
+  const Label owner = lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)];
+
+  // Condition A: within u's window cube some neighbor (not u itself —
+  // otherwise the edge would exist) carries the owner label.
+  const Vertex win = window_value(u, lv.win_lo, lv.win_hi);
+  const Dim rel = lv.labeling.flip_towards(win, owner);
+  assert(rel >= 1 && "flip_towards returned self although edge is absent");
+  const Dim bridge = lv.win_lo + rel;
+
+  // Realize the bridge flip recursively; it only perturbs dimensions
+  // below this level's window, so the label at the endpoint is exactly
+  // the owner label and the i-edge exists there.
+  std::vector<Vertex> path = route_flip(spec, u, bridge);
+  const Vertex v = path.back();
+  assert(spec.label_at(v, t) == owner);
+  assert(spec.has_edge_dim(v, i));
+  path.push_back(flip(v, i));
+  return path;
+}
+
+int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept {
+  const int t = spec.level_of_dim(i);
+  // Core dims: direct edge.  Level t dims: one hop more than a window
+  // dim of level t, which lives in the governed range of level t-1.
+  return t < 0 ? 1 : t + 2;
+}
+
+BroadcastSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec,
+                                          Vertex source) {
+  assert(spec.n() <= 24 && "schedule materializes 2^n calls");
+  assert(source < spec.num_vertices());
+  BroadcastSchedule schedule;
+  schedule.source = source;
+  schedule.rounds.reserve(static_cast<std::size_t>(spec.n()));
+
+  std::vector<Vertex> informed{source};
+  informed.reserve(spec.num_vertices());
+  for (Dim i = spec.n(); i >= 1; --i) {
+    Round round;
+    round.calls.reserve(informed.size());
+    const std::size_t frontier = informed.size();
+    for (std::size_t w = 0; w < frontier; ++w) {
+      Call call{route_flip(spec, informed[w], i)};
+      informed.push_back(call.receiver());
+      round.calls.push_back(std::move(call));
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+BroadcastSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec,
+                                          Vertex source) {
+  assert(spec.k() == 2);
+  assert(spec.n() <= 24);
+  const int n = spec.n();
+  const int m = spec.core_dim();
+  const ConstructionLevel& lv = spec.levels().front();
+
+  BroadcastSchedule schedule;
+  schedule.source = source;
+  std::vector<Vertex> informed{source};
+
+  // Phase 1: dissemination between subcubes using the prefix of length
+  // n - m.  For each informed w: call flip(w, i) directly when the edge
+  // exists, else call flip_i(flip_j(w)) through the Rule-1 neighbor
+  // flip_j(w) whose label owns dimension i.
+  for (Dim i = n; i >= m + 1; --i) {
+    Round round;
+    const std::size_t frontier = informed.size();
+    const Label owner = lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)];
+    for (std::size_t idx = 0; idx < frontier; ++idx) {
+      const Vertex w = informed[idx];
+      Call call;
+      if (spec.has_edge_dim(w, i)) {
+        call.path = {w, flip(w, i)};
+      } else {
+        const Dim j = lv.labeling.flip_towards(window_value(w, 0, m), owner);
+        assert(j >= 1 && j <= m);
+        const Vertex via = flip(w, j);
+        call.path = {w, via, flip(via, i)};
+      }
+      informed.push_back(call.receiver());
+      round.calls.push_back(std::move(call));
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+
+  // Phase 2: dissemination inside each m-subcube by direct edges.
+  for (Dim i = m; i >= 1; --i) {
+    Round round;
+    const std::size_t frontier = informed.size();
+    for (std::size_t idx = 0; idx < frontier; ++idx) {
+      const Vertex w = informed[idx];
+      Call call{{w, flip(w, i)}};
+      informed.push_back(call.receiver());
+      round.calls.push_back(std::move(call));
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+}  // namespace shc

@@ -1,0 +1,61 @@
+// Adjacency oracle abstraction for the simulator.
+//
+// Broadcast schedules are validated against a NetworkView rather than a
+// concrete data structure so the same validator serves (a) materialized
+// CSR graphs (trees, baselines, small cubes) and (b) the implicit O(1)
+// sparse-hypercube edge oracle, which scales to n = 63 where
+// materialization is impossible.
+#pragma once
+
+#include <cstdint>
+
+#include "shc/bits/vertex.hpp"
+#include "shc/graph/graph.hpp"
+
+namespace shc {
+
+/// Read-only adjacency oracle over vertices 0 .. num_vertices()-1.
+class NetworkView {
+ public:
+  virtual ~NetworkView() = default;
+
+  [[nodiscard]] virtual std::uint64_t num_vertices() const = 0;
+
+  /// True iff {u, v} is an edge.  Must be symmetric and irreflexive.
+  [[nodiscard]] virtual bool has_edge(Vertex u, Vertex v) const = 0;
+};
+
+/// NetworkView over a materialized Graph.
+class GraphView final : public NetworkView {
+ public:
+  /// Keeps a reference; the graph must outlive the view.
+  explicit GraphView(const Graph& g) : g_(g) {}
+
+  [[nodiscard]] std::uint64_t num_vertices() const override { return g_.num_vertices(); }
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const override {
+    return g_.has_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+
+ private:
+  const Graph& g_;
+};
+
+/// NetworkView of the full binary n-cube Q_n (implicit, n <= 63).
+class HypercubeView final : public NetworkView {
+ public:
+  explicit HypercubeView(int n) : n_(n) {}
+
+  [[nodiscard]] int dim() const noexcept { return n_; }
+
+  [[nodiscard]] std::uint64_t num_vertices() const override { return cube_order(n_); }
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const override {
+    return cube_adjacent(u, v);
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace shc

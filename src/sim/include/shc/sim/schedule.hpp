@@ -1,0 +1,60 @@
+// Broadcast schedules under the k-line communication model
+// (Definition 1 of the paper).
+//
+// A schedule is a sequence of rounds; each round is a set of calls; each
+// call is an explicit walk (vertex path) from an informed caller to the
+// receiver.  Keeping the route explicit — rather than just (caller,
+// receiver) — lets the validator check the model's real constraint:
+// calls in one round must be pairwise edge-disjoint and
+// receiver-disjoint, and each occupies at most k edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+
+/// One call: the caller path.front() transmits to the receiver
+/// path.back() along consecutive edges of the path.
+struct Call {
+  std::vector<Vertex> path;
+
+  [[nodiscard]] Vertex caller() const noexcept { return path.front(); }
+  [[nodiscard]] Vertex receiver() const noexcept { return path.back(); }
+
+  /// Number of edges occupied (the paper's call length).
+  [[nodiscard]] int length() const noexcept {
+    return static_cast<int>(path.size()) - 1;
+  }
+};
+
+/// All calls placed during one time unit.
+struct Round {
+  std::vector<Call> calls;
+};
+
+/// A complete broadcast schedule from `source`.
+struct BroadcastSchedule {
+  Vertex source = 0;
+  std::vector<Round> rounds;
+
+  [[nodiscard]] int num_rounds() const noexcept {
+    return static_cast<int>(rounds.size());
+  }
+
+  /// Total calls across all rounds.
+  [[nodiscard]] std::size_t num_calls() const noexcept;
+
+  /// Longest call in the schedule; 0 for an empty schedule.  A schedule
+  /// is k-line feasible only if this is <= k.
+  [[nodiscard]] int max_call_length() const noexcept;
+};
+
+/// Pretty-prints a schedule round by round with `bits`-wide binary
+/// vertex labels (decimal when bits == 0), e.g. for the Figure-4 trace.
+[[nodiscard]] std::string format_schedule(const BroadcastSchedule& s, int bits = 0);
+
+}  // namespace shc

@@ -1,0 +1,103 @@
+#include "shc/sim/congestion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace shc {
+namespace {
+
+using EdgePair = std::pair<Vertex, Vertex>;
+
+EdgePair canon(Vertex u, Vertex v) { return u <= v ? EdgePair{u, v} : EdgePair{v, u}; }
+
+}  // namespace
+
+CongestionStats analyze_congestion(const BroadcastSchedule& schedule) {
+  CongestionStats stats;
+  std::map<EdgePair, int> total_load;
+  for (const Round& round : schedule.rounds) {
+    std::map<EdgePair, int> round_load;
+    for (const Call& call : round.calls) {
+      for (std::size_t i = 0; i + 1 < call.path.size(); ++i) {
+        const EdgePair e = canon(call.path[i], call.path[i + 1]);
+        ++total_load[e];
+        stats.max_edge_load_per_round =
+            std::max(stats.max_edge_load_per_round, ++round_load[e]);
+        ++stats.total_edge_hops;
+      }
+    }
+  }
+  stats.distinct_edges_used = total_load.size();
+  for (const auto& [edge, load] : total_load) {
+    stats.max_edge_load_total = std::max(stats.max_edge_load_total, load);
+  }
+  stats.load_histogram.assign(static_cast<std::size_t>(stats.max_edge_load_total) + 1, 0);
+  for (const auto& [edge, load] : total_load) {
+    ++stats.load_histogram[static_cast<std::size_t>(load)];
+  }
+  stats.mean_edge_load =
+      stats.distinct_edges_used == 0
+          ? 0.0
+          : static_cast<double>(stats.total_edge_hops) /
+                static_cast<double>(stats.distinct_edges_used);
+  return stats;
+}
+
+int required_edge_capacity(const BroadcastSchedule& schedule) {
+  return analyze_congestion(schedule).max_edge_load_per_round;
+}
+
+BroadcastSchedule drop_calls(const BroadcastSchedule& schedule, double drop_rate,
+                             std::mt19937_64& rng) {
+  std::bernoulli_distribution drop(drop_rate);
+  BroadcastSchedule out;
+  out.source = schedule.source;
+  out.rounds.reserve(schedule.rounds.size());
+  for (const Round& round : schedule.rounds) {
+    Round kept;
+    for (const Call& call : round.calls) {
+      if (!drop(rng)) kept.calls.push_back(call);
+    }
+    out.rounds.push_back(std::move(kept));
+  }
+  return out;
+}
+
+std::vector<std::size_t> competing_traffic_collisions(
+    const BroadcastSchedule& schedule, int n, int k, std::size_t flows,
+    std::mt19937_64& rng) {
+  std::uniform_int_distribution<Vertex> pick(0, cube_order(n) - 1);
+  std::vector<std::size_t> collisions;
+  collisions.reserve(schedule.rounds.size());
+  for (const Round& round : schedule.rounds) {
+    std::map<EdgePair, int> broadcast_edges;
+    for (const Call& call : round.calls) {
+      for (std::size_t i = 0; i + 1 < call.path.size(); ++i) {
+        ++broadcast_edges[canon(call.path[i], call.path[i + 1])];
+      }
+    }
+    std::size_t hit = 0;
+    for (std::size_t f = 0; f < flows; ++f) {
+      // A random unicast flow: walk from src toward dst by flipping
+      // differing cube dimensions low-to-high, at most k hops.
+      Vertex src = pick(rng);
+      Vertex dst = pick(rng);
+      Vertex cur = src;
+      int hops = 0;
+      bool collided = false;
+      while (cur != dst && hops < k) {
+        const Dim d = __builtin_ctzll(cur ^ dst) + 1;  // lowest differing dim
+        const Vertex nxt = flip(cur, d);
+        if (broadcast_edges.contains(canon(cur, nxt))) collided = true;
+        cur = nxt;
+        ++hops;
+      }
+      if (collided) ++hit;
+    }
+    collisions.push_back(hit);
+  }
+  return collisions;
+}
+
+}  // namespace shc

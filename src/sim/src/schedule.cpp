@@ -1,0 +1,46 @@
+#include "shc/sim/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "shc/bits/bitstring.hpp"
+
+namespace shc {
+
+std::size_t BroadcastSchedule::num_calls() const noexcept {
+  std::size_t total = 0;
+  for (const Round& r : rounds) total += r.calls.size();
+  return total;
+}
+
+int BroadcastSchedule::max_call_length() const noexcept {
+  int len = 0;
+  for (const Round& r : rounds) {
+    for (const Call& c : r.calls) len = std::max(len, c.length());
+  }
+  return len;
+}
+
+std::string format_schedule(const BroadcastSchedule& s, int bits) {
+  std::ostringstream os;
+  auto name = [&](Vertex v) {
+    return bits > 0 ? to_bitstring(v, bits) : std::to_string(v);
+  };
+  os << "broadcast from " << name(s.source) << " in " << s.rounds.size()
+     << " round(s)\n";
+  for (std::size_t t = 0; t < s.rounds.size(); ++t) {
+    os << "  round " << (t + 1) << ":\n";
+    for (const Call& c : s.rounds[t].calls) {
+      os << "    " << name(c.caller()) << " -> " << name(c.receiver())
+         << "  (length " << c.length();
+      if (c.length() > 1) {
+        os << ", via";
+        for (std::size_t i = 1; i + 1 < c.path.size(); ++i) os << ' ' << name(c.path[i]);
+      }
+      os << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace shc

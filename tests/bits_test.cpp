@@ -1,0 +1,161 @@
+// Unit tests for the bit-string substrate.
+#include <gtest/gtest.h>
+
+#include "shc/bits/bitstring.hpp"
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+namespace {
+
+TEST(Vertex, DimBitIsOneHot) {
+  for (Dim i = 1; i <= 63; ++i) {
+    EXPECT_EQ(weight(dim_bit(i)), 1);
+    EXPECT_EQ(differing_dim(0, dim_bit(i)), i);
+  }
+}
+
+TEST(Vertex, MaskLowCountsBits) {
+  EXPECT_EQ(mask_low(0), 0u);
+  EXPECT_EQ(mask_low(1), 0b1u);
+  EXPECT_EQ(mask_low(4), 0b1111u);
+  EXPECT_EQ(weight(mask_low(63)), 63);
+}
+
+TEST(Vertex, MaskWindowSelectsHalfOpenRange) {
+  EXPECT_EQ(mask_window(2, 4), 0b1100u);
+  EXPECT_EQ(mask_window(0, 3), 0b111u);
+  EXPECT_EQ(mask_window(3, 3), 0u);
+}
+
+TEST(Vertex, FlipIsInvolution) {
+  const Vertex u = 0b1011001;
+  for (Dim i = 1; i <= 7; ++i) {
+    EXPECT_NE(flip(u, i), u);
+    EXPECT_EQ(flip(flip(u, i), i), u);
+    EXPECT_EQ(hamming_distance(u, flip(u, i)), 1);
+  }
+}
+
+TEST(Vertex, CoordReadsBits) {
+  const Vertex u = 0b0101;
+  EXPECT_EQ(coord(u, 1), 1);
+  EXPECT_EQ(coord(u, 2), 0);
+  EXPECT_EQ(coord(u, 3), 1);
+  EXPECT_EQ(coord(u, 4), 0);
+}
+
+TEST(Vertex, WindowValueRightAligns) {
+  const Vertex u = 0b110100;
+  EXPECT_EQ(window_value(u, 2, 4), 0b01u);
+  EXPECT_EQ(window_value(u, 0, 6), u);
+  EXPECT_EQ(window_value(u, 3, 6), 0b110u);
+}
+
+TEST(Vertex, CubeAdjacency) {
+  EXPECT_TRUE(cube_adjacent(0b000, 0b001));
+  EXPECT_TRUE(cube_adjacent(0b101, 0b001));
+  EXPECT_FALSE(cube_adjacent(0b000, 0b011));
+  EXPECT_FALSE(cube_adjacent(0b101, 0b101));
+}
+
+TEST(Bitstring, RoundTrip) {
+  EXPECT_EQ(to_bitstring(0b0011, 4), "0011");
+  EXPECT_EQ(to_bitstring(0, 3), "000");
+  EXPECT_EQ(parse_bitstring("0011"), Vertex{0b0011});
+  EXPECT_EQ(parse_bitstring("1"), Vertex{1});
+  for (Vertex u = 0; u < 64; ++u) {
+    EXPECT_EQ(parse_bitstring(to_bitstring(u, 6)), u);
+  }
+}
+
+TEST(Bitstring, ParseRejectsBadInput) {
+  EXPECT_FALSE(parse_bitstring("").has_value());
+  EXPECT_FALSE(parse_bitstring("01x").has_value());
+  EXPECT_FALSE(parse_bitstring(std::string(64, '1')).has_value());
+}
+
+TEST(Bitstring, GrayCodeIsHamiltonian) {
+  // Consecutive Gray codes differ in one bit and enumerate all vertices.
+  const int n = 10;
+  std::vector<char> seen(1 << n, 0);
+  for (std::uint64_t i = 0; i < (1u << n); ++i) {
+    const Vertex g = gray_code(i);
+    EXPECT_LT(g, 1u << n);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = 1;
+    if (i > 0) EXPECT_EQ(hamming_distance(gray_code(i - 1), g), 1);
+    EXPECT_EQ(gray_rank(g), i);
+  }
+}
+
+TEST(Bitstring, EnumerateSubcube) {
+  const auto cube = enumerate_subcube(0b1000, 0b0101);
+  ASSERT_EQ(cube.size(), 4u);
+  EXPECT_EQ(cube[0], 0b1000u);
+  EXPECT_EQ(cube[1], 0b1001u);
+  EXPECT_EQ(cube[2], 0b1100u);
+  EXPECT_EQ(cube[3], 0b1101u);
+}
+
+TEST(Bitstring, CubeNeighbors) {
+  const auto nb = cube_neighbors(0b000, 3);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0b001u);
+  EXPECT_EQ(nb[1], 0b010u);
+  EXPECT_EQ(nb[2], 0b100u);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1 << 20), 20);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 7), 1);
+}
+
+TEST(Math, CeilRootExactOnPerfectPowers) {
+  EXPECT_EQ(ceil_root(16, 2), 4);
+  EXPECT_EQ(ceil_root(17, 2), 5);
+  EXPECT_EQ(ceil_root(27, 3), 3);
+  EXPECT_EQ(ceil_root(28, 3), 4);
+  EXPECT_EQ(ceil_root(1, 5), 1);
+  EXPECT_EQ(ceil_root(0, 3), 0);
+}
+
+// Property sweep: ceil_root(x, k) is the least r with r^k >= x.
+class CeilRootProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CeilRootProperty, LeastRootHolds) {
+  const int k = GetParam();
+  for (std::int64_t x = 1; x <= 5000; ++x) {
+    const int r = ceil_root(x, k);
+    EXPECT_GE(ipow(r, k), x);
+    if (r > 1) EXPECT_LT(ipow(r - 1, k), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallK, CeilRootProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Math, IpowSaturates) {
+  EXPECT_EQ(ipow(2, 3), 8);
+  EXPECT_EQ(ipow(10, 6), 1000000);
+  EXPECT_GT(ipow(1 << 20, 4), 0);  // saturated, not overflowed to negative
+}
+
+}  // namespace
+}  // namespace shc

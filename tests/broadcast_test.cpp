@@ -1,0 +1,195 @@
+// Tests for route_flip and the Broadcast_2 / Broadcast_k schemes
+// (Theorems 4 and 6), all certified through the simulator.
+#include <gtest/gtest.h>
+
+#include "shc/bits/bitstring.hpp"
+#include "shc/mlbg/broadcast.hpp"
+#include "shc/mlbg/params.hpp"
+#include "shc/mlbg/spec.hpp"
+#include "shc/sim/validator.hpp"
+
+namespace shc {
+namespace {
+
+SparseHypercubeSpec make_g42() {
+  return SparseHypercubeSpec::construct_base(4, 2, example1_labeling_m2());
+}
+
+TEST(RouteFlip, DirectEdgeWhenPresent) {
+  const auto g42 = make_g42();
+  for (Vertex u = 0; u < 16; ++u) {
+    for (Dim i = 1; i <= 2; ++i) {  // core dims always direct
+      const auto p = route_flip(g42, u, i);
+      ASSERT_EQ(p.size(), 2u);
+      EXPECT_EQ(p.front(), u);
+      EXPECT_EQ(p.back(), flip(u, i));
+    }
+  }
+}
+
+TEST(RouteFlip, DetourLengthTwoForMissingCrossEdge) {
+  const auto g42 = make_g42();
+  const Vertex u = *parse_bitstring("0000");
+  ASSERT_FALSE(g42.has_edge_dim(u, 4));
+  const auto p = route_flip(g42, u, 4);
+  ASSERT_EQ(p.size(), 3u);  // length-2 call through a Rule-1 neighbor
+  EXPECT_EQ(p.front(), u);
+  // Intermediate vertex is a core-dim neighbor whose label owns dim 4.
+  EXPECT_TRUE(cube_adjacent(u, p[1]));
+  EXPECT_TRUE(g42.has_edge(u, p[1]));
+  EXPECT_TRUE(g42.has_edge(p[1], p[2]));
+  EXPECT_EQ(p.back(), flip(p[1], 4));
+  // Receiver agrees with flip(u, 4) on all dims above the core.
+  EXPECT_EQ(p.back() >> 2, flip(u, 4) >> 2);
+}
+
+TEST(RouteFlip, EveryDimEveryVertexWithinBound) {
+  for (const auto& spec :
+       {SparseHypercubeSpec::construct(7, {2, 4}), SparseHypercubeSpec::construct(9, {2, 4, 6})}) {
+    for (Vertex u = 0; u < spec.num_vertices(); ++u) {
+      for (Dim i = 1; i <= spec.n(); ++i) {
+        const auto p = route_flip(spec, u, i);
+        ASSERT_GE(p.size(), 2u);
+        EXPECT_EQ(p.front(), u);
+        EXPECT_LE(static_cast<int>(p.size()) - 1, route_length_bound(spec, i));
+        EXPECT_LE(static_cast<int>(p.size()) - 1, spec.k());
+        // Every hop is an edge of the sparse cube.
+        for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+          EXPECT_TRUE(spec.has_edge(p[j], p[j + 1]));
+        }
+        // The receiver realizes the dim-i flip above the disturbance zone.
+        EXPECT_EQ(coord(p.back(), i), 1 - coord(u, i));
+        EXPECT_EQ(p.back() >> i, flip(u, i) >> i);
+      }
+    }
+  }
+}
+
+TEST(Broadcast2, Example4TraceFromZero) {
+  const auto g42 = make_g42();
+  const auto schedule = make_broadcast_schedule(g42, 0);
+  ASSERT_EQ(schedule.num_rounds(), 4);
+  // Round 1: the single call from 0000 must be a length-2 detour into
+  // the 1xxx half (dim 4 is not owned by 0000's label).
+  ASSERT_EQ(schedule.rounds[0].calls.size(), 1u);
+  const Call& first = schedule.rounds[0].calls[0];
+  EXPECT_EQ(first.caller(), 0u);
+  EXPECT_EQ(first.length(), 2);
+  EXPECT_EQ(coord(first.receiver(), 4), 1);
+  // The paper's trace reaches 1010 via 0010; ours may pick the other
+  // Condition-A witness (1001 via 0001) — both are legal detours.
+  EXPECT_TRUE(first.receiver() == *parse_bitstring("1010") ||
+              first.receiver() == *parse_bitstring("1001"));
+  // Round 2: two calls, receivers in the two still-empty dim-3 halves.
+  ASSERT_EQ(schedule.rounds[1].calls.size(), 2u);
+  // Rounds 3-4: subcube flood with direct edges only.
+  for (int t = 2; t < 4; ++t) {
+    for (const Call& c : schedule.rounds[t].calls) EXPECT_EQ(c.length(), 1);
+  }
+  const auto report = validate_minimum_time_k_line(SparseHypercubeView{g42}, schedule, 2);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_TRUE(report.minimum_time);
+}
+
+TEST(Broadcast2, LiteralSchemeMatchesUnified) {
+  const auto spec = SparseHypercubeSpec::construct_base(6, 3);
+  for (Vertex s = 0; s < spec.num_vertices(); s += 5) {
+    const auto a = make_broadcast_schedule(spec, s);
+    const auto b = make_broadcast2_literal(spec, s);
+    ASSERT_EQ(a.num_rounds(), b.num_rounds());
+    for (int t = 0; t < a.num_rounds(); ++t) {
+      ASSERT_EQ(a.rounds[t].calls.size(), b.rounds[t].calls.size()) << "round " << t;
+      for (std::size_t c = 0; c < a.rounds[t].calls.size(); ++c) {
+        EXPECT_EQ(a.rounds[t].calls[c].path, b.rounds[t].calls[c].path);
+      }
+    }
+  }
+}
+
+struct BroadcastCase {
+  int n;
+  std::vector<int> cuts;
+};
+
+class BroadcastAllSources : public ::testing::TestWithParam<BroadcastCase> {};
+
+// Theorem 4 / Theorem 6: minimum-time k-line broadcast from EVERY source.
+TEST_P(BroadcastAllSources, ValidatesMinimumTime) {
+  const auto& param = GetParam();
+  const auto spec = SparseHypercubeSpec::construct(param.n, param.cuts);
+  const SparseHypercubeView view(spec);
+  const int k = spec.k();
+  for (Vertex s = 0; s < spec.num_vertices(); ++s) {
+    const auto schedule = make_broadcast_schedule(spec, s);
+    const auto report = validate_minimum_time_k_line(view, schedule, k);
+    ASSERT_TRUE(report.ok) << "source " << s << ": " << report.error;
+    EXPECT_TRUE(report.minimum_time) << "source " << s;
+    EXPECT_EQ(report.rounds, param.n);
+    EXPECT_LE(report.max_call_length, k);
+    EXPECT_EQ(report.informed, spec.num_vertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BroadcastAllSources,
+    ::testing::Values(BroadcastCase{3, {1}}, BroadcastCase{4, {2}},
+                      BroadcastCase{5, {2}}, BroadcastCase{6, {2}},
+                      BroadcastCase{7, {3}}, BroadcastCase{8, {3}},
+                      BroadcastCase{6, {2, 4}}, BroadcastCase{7, {2, 4}},
+                      BroadcastCase{8, {2, 4}}, BroadcastCase{9, {2, 5}},
+                      BroadcastCase{8, {2, 4, 6}}, BroadcastCase{10, {2, 4, 7}},
+                      BroadcastCase{10, {1, 3, 5, 7}}),
+    [](const auto& info) {
+      std::string name = "n" + std::to_string(info.param.n) + "k" +
+                         std::to_string(info.param.cuts.size() + 1);
+      for (int c : info.param.cuts) name += "_" + std::to_string(c);
+      return name;
+    });
+
+TEST(Broadcast, ExactDoublingEveryRound) {
+  const auto spec = SparseHypercubeSpec::construct(7, {2, 4});
+  const auto schedule = make_broadcast_schedule(spec, 19);
+  std::size_t informed = 1;
+  for (const Round& r : schedule.rounds) {
+    EXPECT_EQ(r.calls.size(), informed);  // every informed vertex calls
+    informed *= 2;
+  }
+  EXPECT_EQ(informed, spec.num_vertices());
+}
+
+TEST(Broadcast, DesignedNetworksBroadcastFromEverySource) {
+  for (int k = 2; k <= 4; ++k) {
+    const int n = 9;
+    const auto spec = design_sparse_hypercube(n, k);
+    EXPECT_EQ(spec.k(), k);
+    const SparseHypercubeView view(spec);
+    for (Vertex s = 0; s < spec.num_vertices(); s += 13) {
+      const auto report =
+          validate_minimum_time_k_line(view, make_broadcast_schedule(spec, s), k);
+      ASSERT_TRUE(report.ok) << "k=" << k << " source " << s << ": " << report.error;
+      EXPECT_TRUE(report.minimum_time);
+    }
+  }
+}
+
+TEST(Broadcast, MaxCallLengthMatchesLevelStructure) {
+  // A k = 4 construction must place at least one call of length > 2
+  // somewhere (otherwise it would already be a 2-mlbg of lower degree
+  // than the lower bound allows) and never exceed k.
+  const auto spec = SparseHypercubeSpec::construct(10, {2, 4, 7});
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  EXPECT_LE(schedule.max_call_length(), spec.k());
+  EXPECT_GE(schedule.max_call_length(), 3);
+}
+
+TEST(FormatSchedule, ShowsRoundsAndVias) {
+  const auto g42 = make_g42();
+  const auto s = make_broadcast_schedule(g42, 0);
+  const std::string text = format_schedule(s, 4);
+  EXPECT_NE(text.find("broadcast from 0000 in 4 round(s)"), std::string::npos);
+  EXPECT_NE(text.find("round 1:"), std::string::npos);
+  EXPECT_NE(text.find("via"), std::string::npos);  // the round-1 detour
+}
+
+}  // namespace
+}  // namespace shc

@@ -1,0 +1,133 @@
+// Tests for GF(2) linear algebra and Hamming codes.
+#include <gtest/gtest.h>
+
+#include "shc/coding/gf2.hpp"
+#include "shc/coding/hamming.hpp"
+#include "shc/graph/algorithms.hpp"
+#include "shc/graph/generators.hpp"
+
+namespace shc {
+namespace {
+
+TEST(Gf2Matrix, SetGetRoundTrip) {
+  Gf2Matrix m(3, 5);
+  m.set(0, 0, 1);
+  m.set(1, 3, 1);
+  m.set(2, 4, 1);
+  m.set(1, 3, 0);
+  EXPECT_EQ(m.get(0, 0), 1);
+  EXPECT_EQ(m.get(1, 3), 0);
+  EXPECT_EQ(m.get(2, 4), 1);
+  EXPECT_EQ(m.get(0, 1), 0);
+}
+
+TEST(Gf2Matrix, MulVecComputesParities) {
+  Gf2Matrix m(2, 3);
+  m.set_row_word(0, 0b011);  // parity of coords 1,2
+  m.set_row_word(1, 0b110);  // parity of coords 2,3
+  EXPECT_EQ(m.mul_vec(0b000), 0u);
+  EXPECT_EQ(m.mul_vec(0b001), 0b01u);
+  EXPECT_EQ(m.mul_vec(0b010), 0b11u);
+  EXPECT_EQ(m.mul_vec(0b111), 0b00u);
+}
+
+TEST(Gf2Matrix, Rank) {
+  Gf2Matrix m(3, 3);
+  m.set_row_word(0, 0b001);
+  m.set_row_word(1, 0b010);
+  m.set_row_word(2, 0b011);  // dependent
+  EXPECT_EQ(m.rank(), 2);
+  m.set_row_word(2, 0b100);
+  EXPECT_EQ(m.rank(), 3);
+}
+
+TEST(Gf2Span, EnumeratesSubspace) {
+  const auto s = span({0b001, 0b010});
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 0u);
+  // All pairwise xors stay inside.
+  for (auto a : s) {
+    for (auto b : s) {
+      EXPECT_NE(std::find(s.begin(), s.end(), a ^ b), s.end());
+    }
+  }
+}
+
+class HammingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingProperty, ParityCheckHasFullRank) {
+  const HammingCode code(GetParam());
+  EXPECT_EQ(code.length(), (1 << GetParam()) - 1);
+  EXPECT_EQ(code.parity_check().rank(), GetParam());
+}
+
+TEST_P(HammingProperty, SyndromeDeltaIsColumnIndex) {
+  const int p = GetParam();
+  const HammingCode code(p);
+  const Vertex u = 0b1011010 & mask_low(code.length());
+  for (Dim i = 1; i <= code.length(); ++i) {
+    EXPECT_EQ(code.syndrome(u) ^ code.syndrome(flip(u, i)), code.column(i));
+    EXPECT_EQ(code.column(i), static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST_P(HammingProperty, ClosedNeighborhoodRealizesEverySyndromeOnce) {
+  const int p = GetParam();
+  const HammingCode code(p);
+  const int m = code.length();
+  for (Vertex u = 0; u < cube_order(std::min(m, 7)); ++u) {
+    std::vector<int> seen(static_cast<std::size_t>(code.num_syndromes()), 0);
+    ++seen[code.syndrome(u)];
+    for (Dim i = 1; i <= m; ++i) ++seen[code.syndrome(flip(u, i))];
+    for (int s = 0; s < code.num_syndromes(); ++s) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(s)], 1) << "u=" << u << " s=" << s;
+    }
+  }
+}
+
+TEST_P(HammingProperty, CorrectingDimMovesSyndrome) {
+  const int p = GetParam();
+  const HammingCode code(p);
+  const Vertex u = 0b0110 & mask_low(code.length());
+  const std::uint32_t s = code.syndrome(u);
+  for (std::uint32_t t = 0; t < static_cast<std::uint32_t>(code.num_syndromes()); ++t) {
+    if (t == s) continue;
+    const Dim i = code.correcting_dim(s, t);
+    ASSERT_GE(i, 1);
+    ASSERT_LE(i, code.length());
+    EXPECT_EQ(code.syndrome(flip(u, i)), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Redundancies, HammingProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(Hamming, CodewordsArePerfectCovering) {
+  for (int p : {1, 2, 3}) {
+    const HammingCode code(p);
+    const auto words = code.codewords();
+    EXPECT_EQ(words.size(), cube_order(code.length()) /
+                                static_cast<std::uint64_t>(code.num_syndromes()));
+    EXPECT_TRUE(is_perfect_covering(words, code.length()));
+  }
+}
+
+TEST(Hamming, EveryCosetDominatesTheCube) {
+  const HammingCode code(2);  // m = 3
+  const Graph q3 = make_hypercube(3);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    std::vector<VertexId> coset;
+    for (Vertex u = 0; u < 8; ++u) {
+      if (code.syndrome(u) == s) coset.push_back(static_cast<VertexId>(u));
+    }
+    EXPECT_EQ(coset.size(), 2u);
+    EXPECT_TRUE(is_dominating_set(q3, coset));
+  }
+}
+
+TEST(Hamming, NonCodewordSetIsNotPerfectCovering) {
+  // Two adjacent words double-cover their shared neighborhood.
+  EXPECT_FALSE(is_perfect_covering({0b000, 0b001}, 3));
+}
+
+}  // namespace
+}  // namespace shc

@@ -1,0 +1,101 @@
+// Tests for edge-load accounting and failure injection (the Section-5
+// congestion discussion).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "shc/mlbg/broadcast.hpp"
+#include "shc/mlbg/spec.hpp"
+#include "shc/sim/congestion.hpp"
+#include "shc/sim/validator.hpp"
+
+namespace shc {
+namespace {
+
+BroadcastSchedule tiny_schedule() {
+  // Path 0-1-2-3: round 1: 0->2 via 1; round 2: 0->1, 2->3.
+  BroadcastSchedule s;
+  s.source = 0;
+  s.rounds.push_back(Round{{Call{{0, 1, 2}}}});
+  s.rounds.push_back(Round{{Call{{0, 1}}, Call{{2, 3}}}});
+  return s;
+}
+
+TEST(Congestion, CountsLoadsOnKnownSchedule) {
+  const auto stats = analyze_congestion(tiny_schedule());
+  EXPECT_EQ(stats.distinct_edges_used, 3u);  // {0,1}, {1,2}, {2,3}
+  EXPECT_EQ(stats.total_edge_hops, 4u);
+  EXPECT_EQ(stats.max_edge_load_total, 2);   // {0,1} used in both rounds
+  EXPECT_EQ(stats.max_edge_load_per_round, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_edge_load, 4.0 / 3.0);
+  // Histogram: two edges with load 1, one with load 2.
+  ASSERT_EQ(stats.load_histogram.size(), 3u);
+  EXPECT_EQ(stats.load_histogram[1], 2u);
+  EXPECT_EQ(stats.load_histogram[2], 1u);
+}
+
+TEST(Congestion, RequiredCapacityIsOneForFeasibleSchedules) {
+  const auto spec = SparseHypercubeSpec::construct(7, {2, 4});
+  for (Vertex s : {Vertex{0}, Vertex{77}, Vertex{127}}) {
+    const auto schedule = make_broadcast_schedule(spec, s);
+    EXPECT_EQ(required_edge_capacity(schedule), 1) << "source " << s;
+  }
+}
+
+TEST(Congestion, EmptyScheduleIsZero) {
+  const auto stats = analyze_congestion(BroadcastSchedule{});
+  EXPECT_EQ(stats.distinct_edges_used, 0u);
+  EXPECT_EQ(stats.total_edge_hops, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_edge_load, 0.0);
+}
+
+TEST(Congestion, SparseCubeCarriesMoreLoadPerEdgeThanQn) {
+  // The qualitative Section-5 claim: with fewer edges, the broadcast's
+  // total hops spread over fewer distinct edges.
+  const auto spec = SparseHypercubeSpec::construct_base(8, 3);
+  const auto sparse_stats = analyze_congestion(make_broadcast_schedule(spec, 0));
+  // The same traffic volume on Q_8 (binomial) touches one edge per call.
+  EXPECT_GT(sparse_stats.total_edge_hops, cube_order(8) - 1);
+  EXPECT_GE(sparse_stats.max_edge_load_total, 2);
+}
+
+TEST(FailureInjection, DroppedCallsBreakCompletion) {
+  const auto spec = SparseHypercubeSpec::construct_base(6, 2);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  std::mt19937_64 rng(42);
+  const auto degraded = drop_calls(schedule, 0.3, rng);
+  ASSERT_LT(degraded.num_calls(), schedule.num_calls());
+  const SparseHypercubeView view(spec);
+  ValidationOptions opt;
+  opt.k = 2;
+  const auto rep = validate_broadcast(view, degraded, opt);
+  EXPECT_FALSE(rep.ok);  // something was lost (64 calls at 30% drop)
+}
+
+TEST(FailureInjection, ZeroRateIsIdentity) {
+  const auto spec = SparseHypercubeSpec::construct_base(5, 2);
+  const auto schedule = make_broadcast_schedule(spec, 3);
+  std::mt19937_64 rng(1);
+  const auto copy = drop_calls(schedule, 0.0, rng);
+  EXPECT_EQ(copy.num_calls(), schedule.num_calls());
+  const SparseHypercubeView view(spec);
+  EXPECT_TRUE(validate_minimum_time_k_line(view, copy, 2).ok);
+}
+
+TEST(CompetingTraffic, CollisionCountsBounded) {
+  const auto spec = SparseHypercubeSpec::construct_base(8, 3);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  std::mt19937_64 rng(7);
+  const std::size_t flows = 50;
+  const auto collisions = competing_traffic_collisions(schedule, 8, 2, flows, rng);
+  ASSERT_EQ(collisions.size(), static_cast<std::size_t>(schedule.num_rounds()));
+  for (std::size_t c : collisions) EXPECT_LE(c, flows);
+  // Later rounds carry more broadcast calls, so collisions should not
+  // be uniformly zero.
+  std::size_t total = 0;
+  for (std::size_t c : collisions) total += c;
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace shc

@@ -1,0 +1,102 @@
+// Tests for graph generators, including the paper's Figure-1 tree family.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "shc/graph/algorithms.hpp"
+#include "shc/bits/vertex.hpp"
+#include "shc/graph/generators.hpp"
+
+namespace shc {
+namespace {
+
+class HypercubeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeProperty, RegularConnectedCorrectSize) {
+  const int n = GetParam();
+  const Graph g = make_hypercube(n);
+  EXPECT_EQ(g.num_vertices(), 1u << n);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n) << (n - 1));
+  EXPECT_EQ(g.max_degree(), static_cast<std::size_t>(n));
+  EXPECT_EQ(g.min_degree(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(is_connected(g));
+  // Distance equals Hamming distance.
+  const auto d = bfs_distances(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(d[v], static_cast<std::uint32_t>(weight(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, HypercubeProperty, ::testing::Range(1, 11));
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_TRUE(is_tree(make_path(9)));
+  EXPECT_EQ(make_cycle(9).num_edges(), 9u);
+  EXPECT_EQ(make_star(9).max_degree(), 8u);
+  EXPECT_TRUE(is_tree(make_star(9)));
+}
+
+TEST(Generators, CompleteBinaryTree) {
+  for (int h = 0; h <= 6; ++h) {
+    const Graph g = make_complete_binary_tree(h);
+    EXPECT_EQ(g.num_vertices(), (1u << (h + 1)) - 1);
+    EXPECT_TRUE(is_tree(g));
+    EXPECT_LE(g.max_degree(), 3u);
+    if (h >= 1) {
+      EXPECT_EQ(g.degree(0), 2u);  // root
+      EXPECT_EQ(diameter(g), static_cast<std::uint32_t>(2 * h));
+    }
+  }
+}
+
+// The Theorem-1 / Figure-1 family: |V| = 3 * 2^h - 2, max degree 3,
+// diameter exactly 2h.
+class Theorem1TreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1TreeProperty, MatchesPaperParameters) {
+  const int h = GetParam();
+  const Graph g = make_theorem1_tree(h);
+  EXPECT_EQ(g.num_vertices(), theorem1_tree_order(h));
+  EXPECT_EQ(g.num_vertices(), 3u * (1u << h) - 2);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(diameter(g), theorem1_tree_diameter(h));
+  EXPECT_EQ(diameter(g), static_cast<std::uint32_t>(2 * h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, Theorem1TreeProperty, ::testing::Range(1, 9));
+
+TEST(Generators, TheoremOneTreeRootsJoined) {
+  const int h = 3;
+  const Graph g = make_theorem1_tree(h);
+  const VertexId big_root = 0;
+  const VertexId small_root = (1u << (h + 1)) - 1;
+  EXPECT_TRUE(g.has_edge(big_root, small_root));
+  EXPECT_EQ(g.degree(big_root), 3u);   // two children + joining edge
+  EXPECT_EQ(g.degree(small_root), 3u);
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = make_caterpillar(4, 3);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 4u);  // spine end: 1 spine + 3 legs
+  EXPECT_EQ(g.degree(1), 5u);  // inner spine: 2 spine + 3 legs
+}
+
+class RandomTreeProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomTreeProperty, PruferDecodeYieldsTrees) {
+  std::mt19937_64 rng(GetParam());
+  for (VertexId n : {1u, 2u, 3u, 5u, 17u, 64u, 200u}) {
+    const Graph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(is_tree(g)) << "n=" << n << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace shc

@@ -1,0 +1,118 @@
+// Tests for k-line gossip (the paper's Section-5 open direction).
+#include <gtest/gtest.h>
+
+#include "shc/gossip/gossip.hpp"
+#include "shc/labeling/labeling.hpp"
+#include "shc/sim/network.hpp"
+
+namespace shc {
+namespace {
+
+class HypercubeGossip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeGossip, DimensionExchangeIsOptimal) {
+  const int n = GetParam();
+  const HypercubeView qn(n);
+  const auto schedule = hypercube_exchange_gossip(n);
+  const auto rep = validate_gossip(qn, schedule, 1);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(rep.complete);
+  EXPECT_TRUE(rep.minimum_time);
+  EXPECT_EQ(rep.rounds, n);
+  EXPECT_EQ(rep.max_call_length, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cubes, HypercubeGossip, ::testing::Range(1, 11));
+
+TEST(HypercubeGossip, EachRoundIsAPerfectMatching) {
+  const auto schedule = hypercube_exchange_gossip(5);
+  for (const Round& r : schedule.rounds) {
+    EXPECT_EQ(r.calls.size(), cube_order(4));
+  }
+}
+
+class SparseGossip : public ::testing::TestWithParam<std::pair<int, std::vector<int>>> {};
+
+TEST_P(SparseGossip, GatherBroadcastCompletesInTwoN) {
+  const auto& [n, cuts] = GetParam();
+  const auto spec = SparseHypercubeSpec::construct(n, cuts);
+  const SparseHypercubeView view(spec);
+  for (Vertex root : {Vertex{0}, spec.num_vertices() - 1}) {
+    const auto schedule = sparse_gather_broadcast_gossip(spec, root);
+    const auto rep = validate_gossip(view, schedule, spec.k());
+    ASSERT_TRUE(rep.ok) << "root " << root << ": " << rep.error;
+    EXPECT_TRUE(rep.complete);
+    EXPECT_EQ(rep.rounds, 2 * n);
+    EXPECT_FALSE(rep.minimum_time);  // 2n > n: the open-problem gap
+    EXPECT_LE(rep.max_call_length, spec.k());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseGossip,
+    ::testing::Values(std::pair{5, std::vector<int>{2}},
+                      std::pair{7, std::vector<int>{3}},
+                      std::pair{8, std::vector<int>{2, 4}},
+                      std::pair{9, std::vector<int>{2, 4, 6}}));
+
+TEST(GossipValidator, RejectsDoubleExchange) {
+  const HypercubeView q2(2);
+  GossipSchedule s;
+  s.rounds.push_back(Round{{Call{{0b00, 0b01}}, Call{{0b00, 0b10}}}});
+  const auto rep = validate_gossip(q2, s, 1);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("two exchanges"), std::string::npos);
+}
+
+TEST(GossipValidator, RejectsSharedEdge) {
+  const HypercubeView q3(3);
+  GossipSchedule s;
+  // Both exchanges route through edge {000, 001}.
+  s.rounds.push_back(
+      Round{{Call{{0b010, 0b000, 0b001}}, Call{{0b011, 0b001, 0b000}}}});
+  const auto rep = validate_gossip(q3, s, 2);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("used twice"), std::string::npos);
+}
+
+TEST(GossipValidator, RejectsOverlongExchange) {
+  const HypercubeView q3(3);
+  GossipSchedule s;
+  s.rounds.push_back(Round{{Call{{0b000, 0b001, 0b011}}}});
+  EXPECT_FALSE(validate_gossip(q3, s, 1).ok);
+  // ... but k = 2 accepts the path; completion still fails.
+  const auto rep = validate_gossip(q3, s, 2);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("incomplete"), std::string::npos);
+}
+
+TEST(GossipValidator, DetectsIncompleteness) {
+  const HypercubeView q2(2);
+  GossipSchedule s;
+  s.rounds.push_back(Round{{Call{{0b00, 0b01}}, Call{{0b10, 0b11}}}});
+  // After one matching round nobody knows the opposite pair's tokens.
+  const auto rep = validate_gossip(q2, s, 1);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.complete);
+}
+
+TEST(GossipValidator, KnowledgeActuallyMerges) {
+  const HypercubeView q2(2);
+  const auto schedule = hypercube_exchange_gossip(2);
+  const auto rep = validate_gossip(q2, schedule, 1);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.rounds, 2);
+}
+
+TEST(SparseGossip, GatherPhaseAloneIsIncomplete) {
+  const auto spec = SparseHypercubeSpec::construct_base(5, 2);
+  const SparseHypercubeView view(spec);
+  auto schedule = sparse_gather_broadcast_gossip(spec, 0);
+  schedule.rounds.resize(5);  // keep only the gather half
+  const auto rep = validate_gossip(view, schedule, 2);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.complete);
+}
+
+}  // namespace
+}  // namespace shc

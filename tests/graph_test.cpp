@@ -1,0 +1,161 @@
+// Unit tests for the CSR graph substrate and algorithms.
+#include <gtest/gtest.h>
+
+#include "shc/graph/algorithms.hpp"
+#include "shc/graph/generators.hpp"
+#include "shc/graph/graph.hpp"
+
+namespace shc {
+namespace {
+
+Graph triangle_with_tail() {
+  // 0-1-2-0 triangle, 2-3 tail.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  return std::move(b).build();
+}
+
+TEST(Graph, BuildAndQuery) {
+  const Graph g = triangle_with_tail();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = triangle_with_tail();
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 3u);
+}
+
+TEST(Graph, EdgesCanonicalOrder) {
+  const Graph g = triangle_with_tail();
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 4u);
+  EXPECT_EQ(es[0], (Edge{0, 1}));
+  EXPECT_EQ(es[1], (Edge{0, 2}));
+  EXPECT_EQ(es[2], (Edge{1, 2}));
+  EXPECT_EQ(es[3], (Edge{2, 3}));
+}
+
+TEST(Graph, EmptyGraph) {
+  GraphBuilder b(3);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  const Graph g = make_path(6);
+  const auto d = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+  const auto d2 = bfs_distances(g, 3);
+  EXPECT_EQ(d2[0], 3u);
+  EXPECT_EQ(d2[5], 2u);
+}
+
+TEST(Algorithms, BfsUnreachable) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, ShortestPathEndpointsAndLength) {
+  const Graph g = make_hypercube(4);
+  const auto p = shortest_path(g, 0b0000, 0b1011);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->front(), 0b0000u);
+  EXPECT_EQ(p->back(), 0b1011u);
+  EXPECT_EQ(p->size(), 4u);  // Hamming distance 3 -> 4 vertices
+  EXPECT_TRUE(is_edge_simple_path(g, *p));
+}
+
+TEST(Algorithms, ShortestPathSelf) {
+  const Graph g = make_path(3);
+  const auto p = shortest_path(g, 1, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(Algorithms, DiameterKnownFamilies) {
+  EXPECT_EQ(diameter(make_path(7)), 6u);
+  EXPECT_EQ(diameter(make_cycle(8)), 4u);
+  EXPECT_EQ(diameter(make_star(9)), 2u);
+  EXPECT_EQ(diameter(make_hypercube(5)), 5u);
+}
+
+TEST(Algorithms, EccentricityOfPathEnd) {
+  const Graph g = make_path(10);
+  EXPECT_EQ(eccentricity(g, 0), 9u);
+  EXPECT_EQ(eccentricity(g, 5), 5u);
+}
+
+TEST(Algorithms, DominatingSet) {
+  const Graph g = make_star(6);
+  EXPECT_TRUE(is_dominating_set(g, {0}));
+  EXPECT_FALSE(is_dominating_set(g, {1}));
+  EXPECT_TRUE(is_dominating_set(g, {1, 0}));
+  // On a path 0..5, {1, 4} dominates.
+  const Graph p = make_path(6);
+  EXPECT_TRUE(is_dominating_set(p, {1, 4}));
+  EXPECT_FALSE(is_dominating_set(p, {1, 3}));
+}
+
+TEST(Algorithms, SpanningSubgraph) {
+  const Graph q3 = make_hypercube(3);
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph sub = std::move(b).build();
+  EXPECT_TRUE(is_spanning_subgraph(sub, q3));
+  GraphBuilder b2(8);
+  b2.add_edge(0, 3);  // not a cube edge
+  EXPECT_FALSE(is_spanning_subgraph(std::move(b2).build(), q3));
+}
+
+TEST(Algorithms, DegreeHistogram) {
+  const auto h = degree_histogram(make_star(5));
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[1], 4u);
+  EXPECT_EQ(h[4], 1u);
+}
+
+TEST(Algorithms, IsTree) {
+  EXPECT_TRUE(is_tree(make_path(5)));
+  EXPECT_TRUE(is_tree(make_star(5)));
+  EXPECT_FALSE(is_tree(make_cycle(5)));
+  EXPECT_FALSE(is_tree(make_hypercube(3)));
+}
+
+TEST(Algorithms, EdgeSimplePath) {
+  const Graph g = make_cycle(5);
+  EXPECT_TRUE(is_edge_simple_path(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_edge_simple_path(g, {0, 1, 0}));     // reuses edge {0,1}
+  EXPECT_FALSE(is_edge_simple_path(g, {0, 2}));        // not an edge
+  EXPECT_TRUE(is_edge_simple_path(g, {2}));            // trivial walk
+  EXPECT_FALSE(is_edge_simple_path(g, {}));            // empty is invalid
+}
+
+}  // namespace
+}  // namespace shc

@@ -1,0 +1,125 @@
+// Tests for Condition-A labelings (Section 3, Example 1, Lemma 2).
+#include <gtest/gtest.h>
+
+#include "shc/graph/algorithms.hpp"
+#include "shc/graph/generators.hpp"
+#include "shc/labeling/labeling.hpp"
+
+namespace shc {
+namespace {
+
+TEST(Labeling, TrivialAlwaysSatisfiesConditionA) {
+  for (int m = 1; m <= 8; ++m) {
+    EXPECT_TRUE(trivial_labeling(m).satisfies_condition_a());
+  }
+}
+
+TEST(Labeling, Example1M2MatchesPaper) {
+  const CubeLabeling f = example1_labeling_m2();
+  EXPECT_EQ(f.num_labels(), 2u);
+  EXPECT_EQ(f.at(0b00), f.at(0b11));
+  EXPECT_EQ(f.at(0b01), f.at(0b10));
+  EXPECT_NE(f.at(0b00), f.at(0b01));
+  EXPECT_TRUE(f.satisfies_condition_a());
+}
+
+TEST(Labeling, Example1M3MatchesPaper) {
+  const CubeLabeling f = example1_labeling_m3();
+  EXPECT_EQ(f.num_labels(), 4u);
+  EXPECT_EQ(f.at(0b000), f.at(0b111));
+  EXPECT_EQ(f.at(0b001), f.at(0b110));
+  EXPECT_EQ(f.at(0b010), f.at(0b101));
+  EXPECT_EQ(f.at(0b011), f.at(0b100));
+  EXPECT_TRUE(f.satisfies_condition_a());
+}
+
+TEST(Labeling, HammingAchievesUpperBound) {
+  for (int p : {1, 2, 3}) {
+    const CubeLabeling f = hamming_labeling(p);
+    EXPECT_EQ(f.m(), (1 << p) - 1);
+    EXPECT_EQ(f.num_labels(), static_cast<Label>(f.m() + 1));  // Lemma 2 upper bound
+    EXPECT_TRUE(f.satisfies_condition_a());
+  }
+}
+
+class Lemma2Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma2Property, SatisfiesConditionAWithPromisedLabels) {
+  const int m = GetParam();
+  const CubeLabeling f = lemma2_labeling(m);
+  EXPECT_EQ(f.m(), m);
+  EXPECT_TRUE(f.satisfies_condition_a());
+  // Lemma 2: lambda >= floor(m/2) + 1, and never above m + 1.
+  EXPECT_GE(f.num_labels(), static_cast<Label>(m / 2 + 1));
+  EXPECT_LE(f.num_labels(), static_cast<Label>(m + 1));
+  EXPECT_EQ(f.num_labels(), lemma2_num_labels(m));
+}
+
+TEST_P(Lemma2Property, EveryLabelClassDominatesQm) {
+  const int m = GetParam();
+  if (m > 10) GTEST_SKIP() << "domination check materializes Q_m";
+  const CubeLabeling f = lemma2_labeling(m);
+  const Graph qm = make_hypercube(m);
+  for (Label c = 0; c < f.num_labels(); ++c) {
+    const auto members = f.label_class(c);
+    ASSERT_FALSE(members.empty());
+    std::vector<VertexId> ids(members.begin(), members.end());
+    EXPECT_TRUE(is_dominating_set(qm, ids)) << "label " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallM, Lemma2Property, ::testing::Range(1, 13));
+
+TEST(Labeling, Lemma2NumLabelsClosedForm) {
+  EXPECT_EQ(lemma2_num_labels(1), 2u);
+  EXPECT_EQ(lemma2_num_labels(2), 2u);
+  EXPECT_EQ(lemma2_num_labels(3), 4u);
+  EXPECT_EQ(lemma2_num_labels(4), 4u);
+  EXPECT_EQ(lemma2_num_labels(6), 4u);
+  EXPECT_EQ(lemma2_num_labels(7), 8u);
+  EXPECT_EQ(lemma2_num_labels(14), 8u);
+  EXPECT_EQ(lemma2_num_labels(15), 16u);
+}
+
+TEST(Labeling, FlipTowardsReachesWantedLabel) {
+  for (int m : {2, 3, 4, 5, 7}) {
+    const CubeLabeling f = lemma2_labeling(m);
+    for (Vertex u = 0; u < cube_order(m); ++u) {
+      for (Label c = 0; c < f.num_labels(); ++c) {
+        const Dim d = f.flip_towards(u, c);
+        ASSERT_GE(d, 0);
+        ASSERT_LE(d, m);
+        const Vertex target = d == 0 ? u : flip(u, d);
+        EXPECT_EQ(f.at(target), c);
+        // d == 0 exactly when u itself carries the label.
+        EXPECT_EQ(d == 0, f.at(u) == c);
+      }
+    }
+  }
+}
+
+TEST(Labeling, ClassSizesSumToOrder) {
+  const CubeLabeling f = lemma2_labeling(6);
+  const auto sizes = f.class_sizes();
+  std::size_t total = 0;
+  for (std::size_t s : sizes) {
+    EXPECT_GT(s, 0u);
+    total += s;
+  }
+  EXPECT_EQ(total, cube_order(6));
+}
+
+TEST(Labeling, ConditionAViolationDetected) {
+  // All of Q_2 labeled 0 except one vertex labeled 1: class {11} does
+  // not dominate 00.
+  const CubeLabeling bad(2, 2, {0, 0, 0, 1});
+  EXPECT_FALSE(bad.satisfies_condition_a());
+}
+
+TEST(Labeling, UnusedLabelViolatesConditionA) {
+  const CubeLabeling bad(2, 3, {0, 1, 1, 0});  // label 2 never used
+  EXPECT_FALSE(bad.satisfies_condition_a());
+}
+
+}  // namespace
+}  // namespace shc
