@@ -1,0 +1,168 @@
+// Experiment E15 — the flat schedule engine.
+//
+// Certifies the refactor's two load-bearing claims and records them as a
+// perf trajectory (the `record` build target writes BENCH_schedule.json):
+//
+//   (1) Zero per-call heap allocations: building the full n = 22
+//       sparse-hypercube Broadcast_k schedule (2^22 - 1 calls) performs
+//       only the handful of arena reservations — counted by a global
+//       operator-new hook, independent of the call count.
+//   (2) Large-n validation without materialization: the n = 22 schedule
+//       validates minimum-time through the non-virtual SpecView oracle;
+//       the same kernel through the type-erased NetworkView base is the
+//       devirtualization baseline.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+
+#include "shc/shc.hpp"
+
+// ---- global allocation counter -----------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace shc;
+
+template <class Fn>
+std::uint64_t allocations_during(Fn&& fn) {
+  const std::uint64_t before = g_alloc_count.load();
+  fn();
+  return g_alloc_count.load() - before;
+}
+
+/// The acceptance check behind this bench: a full n = 22 construction
+/// must allocate O(1) blocks (arena reservations), not O(#calls), and
+/// must validate minimum-time through SpecView.  Exits non-zero on
+/// violation so the `record` target doubles as a gate.
+void print_flat_engine_proof() {
+  std::cout << "\n=== E15: flat schedule engine — n = 22 sparse hypercube ===\n";
+  const int n = 22;
+  const auto spec = design_sparse_hypercube(n, 2);
+
+  FlatSchedule schedule;
+  const std::uint64_t allocs =
+      allocations_during([&] { schedule = make_broadcast_schedule(spec, 0); });
+
+  const SpecView view(spec);
+  const auto rep = validate_minimum_time_k_line(view, schedule, spec.k());
+
+  TextTable t({"n", "k", "calls", "path vertices", "arena MB", "allocations",
+               "validated", "minimum-time"});
+  char mb[32];
+  std::snprintf(mb, sizeof(mb), "%.1f",
+                static_cast<double>(schedule.heap_bytes()) / (1024.0 * 1024.0));
+  t.add_row({std::to_string(n), std::to_string(spec.k()),
+             std::to_string(schedule.num_calls()),
+             std::to_string(schedule.num_path_vertices()), mb,
+             std::to_string(allocs), rep.ok ? "yes" : rep.error,
+             rep.minimum_time ? "yes" : "no"});
+  t.print(std::cout);
+
+  // 2^22 - 1 calls; the builder may touch a few dozen blocks (three
+  // arena reservations, the informed scratch vector, assignment moves) —
+  // anything growing with the call count is a regression.
+  const std::uint64_t budget = 64;
+  if (allocs > budget) {
+    std::cout << "FAIL: " << allocs << " allocations for "
+              << schedule.num_calls() << " calls (budget " << budget << ")\n";
+    std::exit(1);
+  }
+  if (!rep.ok || !rep.minimum_time) {
+    std::cout << "FAIL: n=22 schedule did not validate minimum-time: "
+              << rep.error << "\n";
+    std::exit(1);
+  }
+  std::cout << "Expected shape: allocations stay a small constant (arena\n"
+               "reservations only) while the schedule holds 2^22 - 1 calls in\n"
+               "one contiguous pool; validation runs entirely on the implicit\n"
+               "SpecView oracle — no materialized graph.\n\n";
+}
+
+void BM_FlatScheduleConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_broadcast_schedule(spec, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cube_order(n) - 1));
+}
+BENCHMARK(BM_FlatScheduleConstruction)->DenseRange(12, 20, 2);
+
+void BM_FlatValidationSpecView(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 2);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  const SpecView view(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_minimum_time_k_line(view, schedule, spec.k()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(schedule.num_calls()));
+}
+BENCHMARK(BM_FlatValidationSpecView)->DenseRange(12, 18, 2);
+
+void BM_FlatValidationVirtualBase(benchmark::State& state) {
+  // Devirtualization baseline: the same kernel, every edge probe through
+  // the virtual NetworkView vtable.
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 2);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  const SparseHypercubeView concrete(spec);
+  const NetworkView& view = concrete;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_minimum_time_k_line(view, schedule, spec.k()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(schedule.num_calls()));
+}
+BENCHMARK(BM_FlatValidationVirtualBase)->DenseRange(12, 18, 2);
+
+void BM_LegacyShimRoundTrip(benchmark::State& state) {
+  // Cost of the conversion shim (tests' literal cross-checks pay this).
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 2);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FlatSchedule::from_legacy(schedule.to_legacy()));
+  }
+}
+BENCHMARK(BM_LegacyShimRoundTrip)->DenseRange(10, 16, 2);
+
+void BM_CongestionAnalysis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 2);
+  const auto schedule = make_broadcast_schedule(spec, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_congestion(schedule));
+  }
+}
+BENCHMARK(BM_CongestionAnalysis)->DenseRange(12, 18, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_flat_engine_proof();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

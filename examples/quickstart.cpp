@@ -37,10 +37,12 @@ int main(int argc, char** argv) {
   std::cout << "  edges " << spec.num_edges() << "  (Q_" << n << " has "
             << (static_cast<std::uint64_t>(n) << (n - 1)) << ")\n";
 
-  // 3. Broadcast from a vertex and validate under the k-line model.
+  // 3. Broadcast from a vertex (one flat arena, zero per-call heap
+  // allocations) and validate under the k-line model through the
+  // implicit non-virtual SpecView oracle.
   const Vertex source = 1;
-  const BroadcastSchedule schedule = make_broadcast_schedule(spec, source);
-  const SparseHypercubeView view(spec);
+  const FlatSchedule schedule = make_broadcast_schedule(spec, source);
+  const SpecView view(spec);
   const ValidationReport report = validate_minimum_time_k_line(view, schedule, k);
   std::cout << "broadcast from " << to_bitstring(source, n) << ": "
             << report.rounds << " rounds, " << report.total_calls

@@ -4,14 +4,15 @@
 // trade k > 1 for degree ~ k * n^(1/k).
 #pragma once
 
-#include "shc/sim/schedule.hpp"
+#include "shc/sim/flat_schedule.hpp"
 
 namespace shc {
 
 /// Minimum-time 1-line (store-and-forward) broadcast on Q_n from
 /// `source`: in round t every informed vertex calls its neighbor across
-/// dimension n - t + 1.  n rounds, exact doubling, all calls length 1.
-/// Pre: 1 <= n <= 24.
-[[nodiscard]] BroadcastSchedule hypercube_binomial_broadcast(int n, Vertex source);
+/// dimension n - t + 1.  n rounds, exact doubling, all calls length 1,
+/// produced into one flat arena (zero per-call allocations).
+/// Pre: 1 <= n <= 28.
+[[nodiscard]] FlatSchedule hypercube_binomial_broadcast(int n, Vertex source);
 
 }  // namespace shc

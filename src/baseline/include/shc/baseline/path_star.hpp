@@ -11,7 +11,7 @@
 #pragma once
 
 #include "shc/graph/graph.hpp"
-#include "shc/sim/schedule.hpp"
+#include "shc/sim/flat_schedule.hpp"
 
 namespace shc {
 
@@ -19,13 +19,13 @@ namespace shc {
 /// Round calls are confined to disjoint intervals, hence edge-disjoint.
 /// Call lengths can reach ~N/2 (this is a k = N-1 scheme).
 /// Pre: N >= 1, source < N.
-[[nodiscard]] BroadcastSchedule path_line_broadcast(VertexId N, VertexId source);
+[[nodiscard]] FlatSchedule path_line_broadcast(VertexId N, VertexId source);
 
 /// Minimum-time line broadcast on the star with center 0 and leaves
 /// 1..N-1 from `source`.  Every call is length 1 (from the center) or
 /// length 2 (leaf to leaf, switching through the center); calls in one
 /// round are edge-disjoint because callers and receivers are distinct
 /// leaves.  This shows the star is a 2-mlbg.  Pre: N >= 2, source < N.
-[[nodiscard]] BroadcastSchedule star_line_broadcast(VertexId N, VertexId source);
+[[nodiscard]] FlatSchedule star_line_broadcast(VertexId N, VertexId source);
 
 }  // namespace shc

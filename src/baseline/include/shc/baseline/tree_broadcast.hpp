@@ -15,13 +15,15 @@
 #pragma once
 
 #include "shc/graph/graph.hpp"
-#include "shc/sim/schedule.hpp"
+#include "shc/sim/flat_schedule.hpp"
 
 namespace shc {
 
-/// Outcome of the tree scheduler.
+/// Outcome of the tree scheduler.  The schedule is exposed in the flat
+/// arena form; the scheduler's speculative carve search still plans
+/// rounds in the legacy representation internally and converts once.
 struct TreeBroadcastResult {
-  BroadcastSchedule schedule;
+  FlatSchedule schedule;
   int rounds = 0;
   int minimum_rounds = 0;  ///< ceil(log2 N)
   bool achieved_minimum = false;

@@ -1,30 +1,32 @@
 #include "shc/baseline/hypercube_broadcast.hpp"
 
 #include <cassert>
+#include <vector>
 
 #include "shc/bits/vertex.hpp"
 
 namespace shc {
 
-BroadcastSchedule hypercube_binomial_broadcast(int n, Vertex source) {
-  assert(n >= 1 && n <= 24);
+FlatSchedule hypercube_binomial_broadcast(int n, Vertex source) {
+  assert(n >= 1 && n <= 28);
   assert(source < cube_order(n));
-  BroadcastSchedule schedule;
-  schedule.source = source;
-  schedule.rounds.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t order = cube_order(n);
 
-  std::vector<Vertex> informed{source};
-  informed.reserve(cube_order(n));
+  FlatSchedule schedule;
+  schedule.source = source;
+  schedule.reserve(static_cast<std::size_t>(n), order - 1, 2 * (order - 1));
+
+  std::vector<Vertex> informed;
+  informed.reserve(order);
+  informed.push_back(source);
   for (Dim i = n; i >= 1; --i) {
-    Round round;
-    round.calls.reserve(informed.size());
+    schedule.begin_round();
     const std::size_t frontier = informed.size();
     for (std::size_t w = 0; w < frontier; ++w) {
-      Call call{{informed[w], flip(informed[w], i)}};
-      informed.push_back(call.receiver());
-      round.calls.push_back(std::move(call));
+      const Vertex receiver = flip(informed[w], i);
+      schedule.add_call({informed[w], receiver});
+      informed.push_back(receiver);
     }
-    schedule.rounds.push_back(std::move(round));
   }
   return schedule;
 }

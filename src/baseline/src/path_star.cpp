@@ -16,34 +16,39 @@ struct Segment {
   [[nodiscard]] VertexId uninformed() const noexcept { return hi - lo; }
 };
 
-/// Consecutive-vertex walk from a to b (either direction).
-std::vector<Vertex> straight_path(VertexId a, VertexId b) {
-  std::vector<Vertex> p;
+/// Appends the consecutive-vertex walk from a to b (either direction) as
+/// the current call's path.
+void append_straight_path(FlatSchedule& s, VertexId a, VertexId b) {
   if (a <= b) {
     for (VertexId x = a;; ++x) {
-      p.push_back(x);
+      s.push_vertex(x);
       if (x == b) break;
     }
   } else {
     for (VertexId x = a;; --x) {
-      p.push_back(x);
+      s.push_vertex(x);
       if (x == b) break;
     }
   }
-  return p;
 }
 
 }  // namespace
 
-BroadcastSchedule path_line_broadcast(VertexId N, VertexId source) {
+FlatSchedule path_line_broadcast(VertexId N, VertexId source) {
   assert(N >= 1 && source < N);
-  BroadcastSchedule schedule;
+  FlatSchedule schedule;
   schedule.source = source;
+  if (N > 1) {
+    // ceil(log2 N) rounds, N-1 calls, each path vertex covered once per
+    // round it appears in a call; N vertices per round is a safe bound.
+    schedule.reserve(static_cast<std::size_t>(ceil_log2(N)), N - 1,
+                     static_cast<std::size_t>(ceil_log2(N)) * N);
+  }
 
   std::deque<Segment> segments{{0, N - 1, source}};
   bool work_left = N > 1;
   while (work_left) {
-    Round round;
+    bool round_open = false;
     std::deque<Segment> next;
     work_left = false;
     for (const Segment& seg : segments) {
@@ -76,24 +81,32 @@ BroadcastSchedule path_line_broadcast(VertexId N, VertexId source) {
         theirs.hi = cut - 1;
         theirs.owner = seg.lo + (s - 1) / 2;
       }
-      round.calls.push_back(Call{straight_path(seg.owner, theirs.owner)});
+      if (!round_open) {
+        schedule.begin_round();
+        round_open = true;
+      }
+      append_straight_path(schedule, seg.owner, theirs.owner);
+      schedule.end_call();
       if (mine.uninformed() > 0 || theirs.uninformed() > 0) work_left = true;
       next.push_back(mine);
       next.push_back(theirs);
     }
     segments.swap(next);
-    if (!round.calls.empty()) schedule.rounds.push_back(std::move(round));
   }
   return schedule;
 }
 
-BroadcastSchedule star_line_broadcast(VertexId N, VertexId source) {
+FlatSchedule star_line_broadcast(VertexId N, VertexId source) {
   assert(N >= 2 && source < N);
-  BroadcastSchedule schedule;
+  FlatSchedule schedule;
   schedule.source = source;
+  schedule.reserve(static_cast<std::size_t>(ceil_log2(N)), N - 1,
+                   3 * static_cast<std::size_t>(N - 1));
 
   std::vector<VertexId> informed{source};
+  informed.reserve(N);
   std::vector<VertexId> pending;  // uninformed, consumed from the back
+  pending.reserve(N - 1);
   for (VertexId leaf = 1; leaf < N; ++leaf) {
     if (leaf != source) pending.push_back(leaf);
   }
@@ -101,22 +114,19 @@ BroadcastSchedule star_line_broadcast(VertexId N, VertexId source) {
   // The center (if uninformed) sits at the back, so a leaf source calls
   // it first and every later call can switch through an informed center.
   while (!pending.empty()) {
-    Round round;
+    schedule.begin_round();
     const std::size_t frontier = informed.size();
     for (std::size_t i = 0; i < frontier && !pending.empty(); ++i) {
       const VertexId caller = informed[i];
       const VertexId target = pending.back();
       pending.pop_back();
-      Call call;
       if (caller == 0 || target == 0) {
-        call.path = {caller, target};  // direct spoke
+        schedule.add_call({caller, target});  // direct spoke
       } else {
-        call.path = {caller, 0, target};  // switch through the center
+        schedule.add_call({caller, 0, target});  // switch through the center
       }
       informed.push_back(target);
-      round.calls.push_back(std::move(call));
     }
-    schedule.rounds.push_back(std::move(round));
   }
   return schedule;
 }

@@ -389,25 +389,42 @@ class Scheduler {
 
 }  // namespace
 
+namespace {
+
+/// Legacy-form scheduling used by both public entry points; the flat
+/// conversion happens once at the public boundary.
+BroadcastSchedule tree_line_broadcast_legacy(const Graph& tree, VertexId source) {
+  BroadcastSchedule schedule;
+  schedule.source = source;
+  if (tree.num_vertices() <= 1) return schedule;
+  Scheduler scheduler(tree, source);
+  return scheduler.run();
+}
+
+TreeBroadcastResult finish_result(BroadcastSchedule legacy, VertexId n) {
+  TreeBroadcastResult result;
+  result.minimum_rounds = ceil_log2(n);
+  result.schedule = FlatSchedule::from_legacy(legacy);
+  result.rounds = result.schedule.num_rounds();
+  result.achieved_minimum = result.rounds == result.minimum_rounds;
+  result.max_call_length = result.schedule.max_call_length();
+  return result;
+}
+
+}  // namespace
+
 TreeBroadcastResult tree_line_broadcast(const Graph& tree, VertexId source) {
   const VertexId n = tree.num_vertices();
   assert(source < n);
   assert(is_tree(tree));
 
-  TreeBroadcastResult result;
-  result.minimum_rounds = ceil_log2(n);
-  result.schedule.source = source;
   if (n == 1) {
+    TreeBroadcastResult result;
+    result.schedule.source = source;
     result.achieved_minimum = true;
     return result;
   }
-
-  Scheduler scheduler(tree, source);
-  result.schedule = scheduler.run();
-  result.rounds = result.schedule.num_rounds();
-  result.achieved_minimum = result.rounds == result.minimum_rounds;
-  result.max_call_length = result.schedule.max_call_length();
-  return result;
+  return finish_result(tree_line_broadcast_legacy(tree, source), n);
 }
 
 
@@ -457,9 +474,7 @@ TreeBroadcastResult theorem1_tree_broadcast(int h, VertexId source) {
   const Graph big_tree = make_complete_binary_tree(h);
   const Graph small_tree = make_complete_binary_tree(h - 1);
 
-  TreeBroadcastResult result;
-  result.minimum_rounds = ceil_log2(n);
-  BroadcastSchedule& schedule = result.schedule;
+  BroadcastSchedule schedule;
   schedule.source = source;
 
   // Round 1: cross-call over the joining edge {0, big}.
@@ -476,17 +491,14 @@ TreeBroadcastResult theorem1_tree_broadcast(int h, VertexId source) {
   schedule.rounds.back().calls.push_back(cross);
 
   // Rounds 2..: independent component broadcasts.
-  const TreeBroadcastResult big_part =
-      tree_line_broadcast(big_tree, source < big ? source : 0);
-  const TreeBroadcastResult small_part =
-      tree_line_broadcast(small_tree, source < big ? 0 : source - big);
-  merge_component_schedule(schedule, big_part.schedule, 1, 0);
-  merge_component_schedule(schedule, small_part.schedule, 1, big);
+  const BroadcastSchedule big_part =
+      tree_line_broadcast_legacy(big_tree, source < big ? source : 0);
+  const BroadcastSchedule small_part =
+      tree_line_broadcast_legacy(small_tree, source < big ? 0 : source - big);
+  merge_component_schedule(schedule, big_part, 1, 0);
+  merge_component_schedule(schedule, small_part, 1, big);
 
-  result.rounds = schedule.num_rounds();
-  result.achieved_minimum = result.rounds == result.minimum_rounds;
-  result.max_call_length = schedule.max_call_length();
-  return result;
+  return finish_result(std::move(schedule), n);
 }
 
 }  // namespace shc

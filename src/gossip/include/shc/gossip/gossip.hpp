@@ -20,25 +20,24 @@
 //     bench (E13) reports the measured gap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
+#include "shc/bits/bitstring.hpp"
 #include "shc/mlbg/broadcast.hpp"
 #include "shc/mlbg/spec.hpp"
+#include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/network.hpp"
-#include "shc/sim/schedule.hpp"
+#include "shc/sim/validator.hpp"
 
 namespace shc {
 
-/// A gossip schedule reuses the broadcast round/call structure; calls
-/// are interpreted as exchanges (direction is irrelevant).
-struct GossipSchedule {
-  std::vector<Round> rounds;
-
-  [[nodiscard]] int num_rounds() const noexcept {
-    return static_cast<int>(rounds.size());
-  }
-};
+/// A gossip schedule reuses the flat round/call structure; calls are
+/// interpreted as exchanges (direction is irrelevant, source unused).
+using GossipSchedule = FlatSchedule;
 
 /// Validation outcome for a gossip schedule.
 struct GossipReport {
@@ -50,13 +49,121 @@ struct GossipReport {
   int max_call_length = 0;
 };
 
+namespace detail {
+
+/// Per-vertex knowledge as packed token bitsets.
+class KnowledgeMatrix {
+ public:
+  explicit KnowledgeMatrix(std::uint64_t n)
+      : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      bits_[v * words_ + v / 64] |= std::uint64_t{1} << (v % 64);
+    }
+  }
+
+  void exchange(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t* ra = &bits_[a * words_];
+    std::uint64_t* rb = &bits_[b * words_];
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t u = ra[w] | rb[w];
+      ra[w] = u;
+      rb[w] = u;
+    }
+  }
+
+  [[nodiscard]] bool complete() const {
+    for (std::uint64_t v = 0; v < n_; ++v) {
+      const std::uint64_t* row = &bits_[v * words_];
+      for (std::size_t w = 0; w + 1 < words_; ++w) {
+        if (row[w] != ~std::uint64_t{0}) return false;
+      }
+      const std::uint64_t tail_bits = n_ - 64 * (words_ - 1);
+      const std::uint64_t tail_mask =
+          tail_bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail_bits) - 1;
+      if ((row[words_ - 1] & tail_mask) != tail_mask) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace detail
+
 /// Checks a gossip schedule against `net` under the k-line constraints:
-/// per round, paths valid and edge-disjoint with distinct... in gossip
-/// both endpoints receive, so the receiver-uniqueness rule becomes
-/// endpoint-uniqueness: a vertex takes part in at most one exchange per
-/// round.  Knowledge is tracked exactly (N^2 bits; pre: N <= 2^13).
-[[nodiscard]] GossipReport validate_gossip(const NetworkView& net,
-                                           const GossipSchedule& schedule, int k);
+/// per round, paths valid and edge-disjoint; in gossip both endpoints
+/// receive, so the receiver-uniqueness rule becomes endpoint-uniqueness:
+/// a vertex takes part in at most one exchange per round.  Knowledge is
+/// tracked exactly (N^2 bits; pre: N <= 2^13).  Templated over the
+/// adjacency oracle like validate_broadcast.
+template <AdjacencyOracle Net>
+[[nodiscard]] GossipReport validate_gossip(const Net& net,
+                                           const GossipSchedule& schedule, int k) {
+  GossipReport rep;
+  const std::uint64_t order = net.num_vertices();
+  assert(order <= (std::uint64_t{1} << 13) && "knowledge matrix guarded to 2^13");
+
+  auto fail = [&](std::string msg) {
+    rep.ok = false;
+    rep.error = std::move(msg);
+    return rep;
+  };
+
+  detail::KnowledgeMatrix know(order);
+  std::unordered_set<detail::EdgeKey, detail::EdgeKeyHash> round_edges;
+  std::unordered_set<Vertex> round_endpoints;
+
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    ++rep.rounds;
+    round_edges.clear();
+    round_endpoints.clear();
+    const std::string where = "round " + std::to_string(t + 1) + ": ";
+    const FlatSchedule::RoundView round = schedule.round(t);
+    for (const FlatSchedule::CallView call : round) {
+      if (call.size() < 2) return fail(where + "empty or zero-length exchange");
+      rep.max_call_length = std::max(rep.max_call_length, call.length());
+      if (call.length() > k) {
+        return fail(where + "exchange longer than k=" + std::to_string(k));
+      }
+      const Vertex a = call.caller();
+      const Vertex b = call.receiver();
+      if (a >= order || b >= order) return fail(where + "endpoint out of range");
+      // Each vertex joins at most one exchange per round.
+      if (!round_endpoints.insert(a).second) {
+        return fail(where + "vertex " + std::to_string(a) + " in two exchanges");
+      }
+      if (!round_endpoints.insert(b).second) {
+        return fail(where + "vertex " + std::to_string(b) + " in two exchanges");
+      }
+      for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+        const Vertex x = call[i];
+        const Vertex y = call[i + 1];
+        if (x == y || !net.has_edge(x, y)) {
+          return fail(where + "no edge between " + std::to_string(x) + " and " +
+                      std::to_string(y));
+        }
+        if (!round_edges.insert(detail::edge_key(x, y)).second) {
+          return fail(where + "edge {" + std::to_string(x) + "," + std::to_string(y) +
+                      "} used twice");
+        }
+      }
+    }
+    // Exchanges resolve simultaneously; endpoint-uniqueness makes the
+    // application order irrelevant.
+    for (const FlatSchedule::CallView call : round) {
+      know.exchange(call.caller(), call.receiver());
+    }
+  }
+
+  rep.complete = know.complete();
+  if (!rep.complete) return fail("gossip incomplete after all rounds");
+  rep.ok = true;
+  rep.minimum_time = rep.rounds == ceil_log2(order);
+  return rep;
+}
 
 /// Dimension-exchange gossip on the full Q_n: round t pairs every vertex
 /// with its neighbor across dimension n-t+1.  n rounds, k = 1, optimal.

@@ -1,148 +1,21 @@
 #include "shc/gossip/gossip.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "shc/bits/bitstring.hpp"
 
 namespace shc {
-namespace {
-
-/// Per-vertex knowledge as packed token bitsets.
-class KnowledgeMatrix {
- public:
-  explicit KnowledgeMatrix(std::uint64_t n)
-      : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {
-    for (std::uint64_t v = 0; v < n; ++v) {
-      bits_[v * words_ + v / 64] |= std::uint64_t{1} << (v % 64);
-    }
-  }
-
-  void exchange(std::uint64_t a, std::uint64_t b) {
-    std::uint64_t* ra = &bits_[a * words_];
-    std::uint64_t* rb = &bits_[b * words_];
-    for (std::size_t w = 0; w < words_; ++w) {
-      const std::uint64_t u = ra[w] | rb[w];
-      ra[w] = u;
-      rb[w] = u;
-    }
-  }
-
-  [[nodiscard]] bool complete() const {
-    for (std::uint64_t v = 0; v < n_; ++v) {
-      const std::uint64_t* row = &bits_[v * words_];
-      for (std::size_t w = 0; w + 1 < words_; ++w) {
-        if (row[w] != ~std::uint64_t{0}) return false;
-      }
-      const std::uint64_t tail_bits = n_ - 64 * (words_ - 1);
-      const std::uint64_t tail_mask =
-          tail_bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail_bits) - 1;
-      if ((row[words_ - 1] & tail_mask) != tail_mask) return false;
-    }
-    return true;
-  }
-
- private:
-  std::uint64_t n_;
-  std::size_t words_;
-  std::vector<std::uint64_t> bits_;
-};
-
-struct PairKey {
-  Vertex a, b;
-  bool operator==(const PairKey&) const = default;
-};
-struct PairKeyHash {
-  std::size_t operator()(const PairKey& p) const noexcept {
-    std::uint64_t x = p.a * 0x9E3779B97F4A7C15ULL ^ (p.b + 0xBF58476D1CE4E5B9ULL);
-    x ^= x >> 31;
-    x *= 0x94D049BB133111EBULL;
-    return static_cast<std::size_t>(x ^ (x >> 29));
-  }
-};
-
-PairKey canon(Vertex u, Vertex v) { return u <= v ? PairKey{u, v} : PairKey{v, u}; }
-
-}  // namespace
-
-GossipReport validate_gossip(const NetworkView& net, const GossipSchedule& schedule,
-                             int k) {
-  GossipReport rep;
-  const std::uint64_t order = net.num_vertices();
-  assert(order <= (std::uint64_t{1} << 13) && "knowledge matrix guarded to 2^13");
-
-  auto fail = [&](std::string msg) {
-    rep.ok = false;
-    rep.error = std::move(msg);
-    return rep;
-  };
-
-  KnowledgeMatrix know(order);
-  std::unordered_set<PairKey, PairKeyHash> round_edges;
-  std::unordered_set<Vertex> round_endpoints;
-
-  for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
-    ++rep.rounds;
-    round_edges.clear();
-    round_endpoints.clear();
-    const std::string where = "round " + std::to_string(t + 1) + ": ";
-    for (const Call& call : schedule.rounds[t].calls) {
-      if (call.path.size() < 2) return fail(where + "call with no edge");
-      rep.max_call_length = std::max(rep.max_call_length, call.length());
-      if (call.length() > k) {
-        return fail(where + "exchange longer than k=" + std::to_string(k));
-      }
-      const Vertex a = call.caller();
-      const Vertex b = call.receiver();
-      if (a >= order || b >= order) return fail(where + "endpoint out of range");
-      // Each vertex joins at most one exchange per round.
-      if (!round_endpoints.insert(a).second) {
-        return fail(where + "vertex " + std::to_string(a) + " in two exchanges");
-      }
-      if (!round_endpoints.insert(b).second) {
-        return fail(where + "vertex " + std::to_string(b) + " in two exchanges");
-      }
-      for (std::size_t i = 0; i + 1 < call.path.size(); ++i) {
-        const Vertex x = call.path[i];
-        const Vertex y = call.path[i + 1];
-        if (x == y || !net.has_edge(x, y)) {
-          return fail(where + "no edge between " + std::to_string(x) + " and " +
-                      std::to_string(y));
-        }
-        if (!round_edges.insert(canon(x, y)).second) {
-          return fail(where + "edge {" + std::to_string(x) + "," + std::to_string(y) +
-                      "} used twice");
-        }
-      }
-    }
-    // Exchanges resolve simultaneously; endpoint-uniqueness makes the
-    // application order irrelevant.
-    for (const Call& call : schedule.rounds[t].calls) {
-      know.exchange(call.caller(), call.receiver());
-    }
-  }
-
-  rep.complete = know.complete();
-  if (!rep.complete) return fail("gossip incomplete after all rounds");
-  rep.ok = true;
-  rep.minimum_time = rep.rounds == ceil_log2(order);
-  return rep;
-}
 
 GossipSchedule hypercube_exchange_gossip(int n) {
   assert(n >= 1 && n <= 13);
   GossipSchedule schedule;
-  schedule.rounds.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t matching = cube_order(n - 1);
+  schedule.reserve(static_cast<std::size_t>(n), static_cast<std::size_t>(n) * matching,
+                   static_cast<std::size_t>(n) * matching * 2);
   for (Dim i = n; i >= 1; --i) {
-    Round round;
-    round.calls.reserve(cube_order(n - 1));
+    schedule.begin_round();
     for (Vertex u = 0; u < cube_order(n); ++u) {
       const Vertex v = flip(u, i);
-      if (u < v) round.calls.push_back(Call{{u, v}});
+      if (u < v) schedule.add_call({u, v});
     }
-    schedule.rounds.push_back(std::move(round));
   }
   return schedule;
 }
@@ -150,24 +23,26 @@ GossipSchedule hypercube_exchange_gossip(int n) {
 GossipSchedule sparse_gather_broadcast_gossip(const SparseHypercubeSpec& spec,
                                               Vertex root) {
   assert(spec.n() <= 13);
-  const BroadcastSchedule forward = make_broadcast_schedule(spec, root);
+  const FlatSchedule forward = make_broadcast_schedule(spec, root);
 
   GossipSchedule schedule;
-  schedule.rounds.reserve(2 * forward.rounds.size());
+  schedule.source = root;
+  schedule.reserve(2 * static_cast<std::size_t>(forward.num_rounds()),
+                   2 * forward.num_calls(), 2 * forward.num_path_vertices());
   // Gather: replay the broadcast backwards; every vertex has merged its
   // broadcast subtree by the time it exchanges towards the root.
-  for (std::size_t t = forward.rounds.size(); t-- > 0;) {
-    Round reversed;
-    reversed.calls.reserve(forward.rounds[t].calls.size());
-    for (const Call& c : forward.rounds[t].calls) {
-      Call back;
-      back.path.assign(c.path.rbegin(), c.path.rend());
-      reversed.calls.push_back(std::move(back));
+  for (int t = forward.num_rounds(); t-- > 0;) {
+    schedule.begin_round();
+    for (const FlatSchedule::CallView c : forward.round(t)) {
+      for (std::size_t i = c.size(); i-- > 0;) schedule.push_vertex(c[i]);
+      schedule.end_call();
     }
-    schedule.rounds.push_back(std::move(reversed));
   }
   // Broadcast: disseminate the root's now-complete knowledge.
-  for (const Round& r : forward.rounds) schedule.rounds.push_back(r);
+  for (int t = 0; t < forward.num_rounds(); ++t) {
+    schedule.begin_round();
+    for (const FlatSchedule::CallView c : forward.round(t)) schedule.add_call(c);
+  }
   return schedule;
 }
 

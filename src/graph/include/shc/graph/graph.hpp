@@ -43,8 +43,10 @@ class GraphBuilder {
   [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
 
-  /// Freezes into an immutable Graph.  Aborts (assert) on duplicate edges
-  /// or self-loops; both indicate construction bugs upstream.
+  /// Freezes into an immutable Graph.  Duplicate edges and self-loops
+  /// indicate construction bugs upstream; both are detected
+  /// unconditionally (release builds included) and reported by throwing
+  /// std::invalid_argument naming the offending edge.
   [[nodiscard]] Graph build() &&;
 
  private:

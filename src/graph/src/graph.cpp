@@ -2,19 +2,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace shc {
 
 void GraphBuilder::add_edge(VertexId u, VertexId v) {
   assert(u < n_ && v < n_ && "endpoint out of range");
-  assert(u != v && "self-loops are not allowed");
   edges_.push_back(make_edge(u, v));
 }
 
 Graph GraphBuilder::build() && {
   std::sort(edges_.begin(), edges_.end());
-  assert(std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end() &&
-         "duplicate edge inserted");
+  // Simple-graph invariants are construction-bug tripwires that must
+  // survive release builds (an assert vanishes under NDEBUG), so detect
+  // unconditionally and name the offending edge.
+  for (const Edge& e : edges_) {
+    if (e.a == e.b) {
+      throw std::invalid_argument("GraphBuilder: self-loop at vertex " +
+                                  std::to_string(e.a));
+    }
+  }
+  const auto dup = std::adjacent_find(edges_.begin(), edges_.end());
+  if (dup != edges_.end()) {
+    throw std::invalid_argument("GraphBuilder: duplicate edge {" +
+                                std::to_string(dup->a) + "," +
+                                std::to_string(dup->b) + "}");
+  }
 
   Graph g;
   g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);

@@ -24,6 +24,7 @@
 #include "shc/mlbg/params.hpp"
 #include "shc/mlbg/spec.hpp"
 #include "shc/sim/congestion.hpp"
+#include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/network.hpp"
 #include "shc/sim/schedule.hpp"
 #include "shc/sim/validator.hpp"

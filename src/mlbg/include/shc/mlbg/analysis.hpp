@@ -59,6 +59,7 @@ struct BroadcastTreeStats {
 /// vertex equals the number of rounds it spends calling — in a
 /// minimum-time schedule the source has fanout n, the last-informed
 /// vertices fanout 0.
+[[nodiscard]] BroadcastTreeStats analyze_broadcast_tree(const FlatSchedule& schedule);
 [[nodiscard]] BroadcastTreeStats analyze_broadcast_tree(const BroadcastSchedule& schedule);
 
 }  // namespace shc

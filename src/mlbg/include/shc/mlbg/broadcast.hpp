@@ -8,11 +8,16 @@
 // remaining rounds are the recursive Phase 2 calls, which at every
 // recursion depth are themselves dimension sweeps — concatenating them
 // yields exactly this loop.  Tests cross-check the unified scheme
-// against a literal transcription of Broadcast_2 for k = 2.
+// against a literal transcription of Broadcast_2 for k = 2 (and its
+// legacy round-trip through the FlatSchedule conversion shim).
+//
+// Schedules are produced directly into the flat arena representation:
+// one contiguous path pool, zero per-call heap allocations, memory
+// proportional to the total path length.
 #pragma once
 
 #include "shc/mlbg/spec.hpp"
-#include "shc/sim/schedule.hpp"
+#include "shc/sim/flat_schedule.hpp"
 
 namespace shc {
 
@@ -28,6 +33,12 @@ namespace shc {
 [[nodiscard]] std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u,
                                              Dim i);
 
+/// Appends the route_flip(spec, u, i) path to the call currently being
+/// built in `out` (allocation-free once the arena is reserved).  The
+/// caller seals the call with out.end_call().
+void route_flip_append(const SparseHypercubeSpec& spec, Vertex u, Dim i,
+                       FlatSchedule& out);
+
 /// Worst-case route_flip length for dimension i in this spec
 /// (= owning level index + 2; 1 for core dimensions).
 [[nodiscard]] int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept;
@@ -35,14 +46,15 @@ namespace shc {
 /// The unified Broadcast_k scheme from `source`: n rounds, round t
 /// sweeping dimension n - t + 1, informed set exactly doubling.  The
 /// schedule is k-line feasible for k = spec.k() (validated in tests via
-/// the simulator, never assumed).  Memory: 2^n calls; pre: n <= 24.
-[[nodiscard]] BroadcastSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec,
-                                                        Vertex source);
+/// the simulator, never assumed).  Memory: 2^n - 1 flat calls, one
+/// arena; pre: n <= 28.
+[[nodiscard]] FlatSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec,
+                                                   Vertex source);
 
 /// Literal transcription of the paper's Scheme Broadcast_2 (two explicit
 /// phases).  Pre: spec.k() == 2.  Used by tests to certify that the
 /// unified scheme equals the published one.
-[[nodiscard]] BroadcastSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec,
-                                                        Vertex source);
+[[nodiscard]] FlatSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec,
+                                                   Vertex source);
 
 }  // namespace shc

@@ -120,8 +120,31 @@ class SparseHypercubeSpec {
   std::vector<ConstructionLevel> levels_;  // level t at index t-1
 };
 
-/// NetworkView adapter so the simulator can validate schedules against a
-/// spec without materialization.
+/// First-class implicit adjacency oracle over a SparseHypercubeSpec —
+/// the non-virtual counterpart of SparseHypercubeView.  Satisfies the
+/// simulator's AdjacencyOracle concept, so templated validator and
+/// congestion kernels probe edges through direct inlinable calls and
+/// large-n schedules validate without materializing the graph.
+class SpecView {
+ public:
+  /// Keeps a reference; the spec must outlive the view.
+  explicit SpecView(const SparseHypercubeSpec& spec) : spec_(&spec) {}
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return spec_->num_vertices();
+  }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept {
+    return spec_->has_edge(u, v);
+  }
+  [[nodiscard]] const SparseHypercubeSpec& spec() const noexcept { return *spec_; }
+
+ private:
+  const SparseHypercubeSpec* spec_;
+};
+
+/// Type-erased NetworkView adapter over a spec, for code that needs the
+/// virtual base (ad-hoc test oracles, heterogeneous view collections).
+/// Hot paths should prefer SpecView + the templated kernels.
 class SparseHypercubeView final : public NetworkView {
  public:
   /// Keeps a reference; the spec must outlive the view.

@@ -72,17 +72,17 @@ std::vector<std::uint64_t> dimension_edge_profile(const SparseHypercubeSpec& spe
   return profile;
 }
 
-BroadcastTreeStats analyze_broadcast_tree(const BroadcastSchedule& schedule) {
+BroadcastTreeStats analyze_broadcast_tree(const FlatSchedule& schedule) {
   BroadcastTreeStats stats;
   std::unordered_map<Vertex, std::size_t> fanout;
   fanout[schedule.source] = 0;
   std::uint64_t informed = 1;
-  for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
-    for (const Call& c : schedule.rounds[t].calls) {
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    for (const FlatSchedule::CallView c : schedule.round(t)) {
       ++fanout[c.caller()];
       fanout.emplace(c.receiver(), 0);
       ++informed;
-      stats.height = static_cast<int>(t) + 1;
+      stats.height = t + 1;
     }
     stats.informed_per_round.push_back(informed);
   }
@@ -91,6 +91,10 @@ BroadcastTreeStats analyze_broadcast_tree(const BroadcastSchedule& schedule) {
   stats.fanout_histogram.assign(stats.max_fanout + 1, 0);
   for (const auto& [v, f] : fanout) ++stats.fanout_histogram[f];
   return stats;
+}
+
+BroadcastTreeStats analyze_broadcast_tree(const BroadcastSchedule& schedule) {
+  return analyze_broadcast_tree(FlatSchedule::from_legacy(schedule));
 }
 
 }  // namespace shc

@@ -31,6 +31,32 @@ std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u, Dim i)
   return path;
 }
 
+void route_flip_append(const SparseHypercubeSpec& spec, Vertex u, Dim i,
+                       FlatSchedule& out) {
+  assert(i >= 1 && i <= spec.n());
+  if (spec.has_edge_dim(u, i)) {
+    out.push_vertex(u);
+    out.push_vertex(flip(u, i));
+    return;
+  }
+
+  const int t = spec.level_of_dim(i);
+  assert(t >= 0 && "core dimensions always have edges");
+  const ConstructionLevel& lv = spec.levels()[static_cast<std::size_t>(t)];
+  const Label owner = lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)];
+
+  const Vertex win = window_value(u, lv.win_lo, lv.win_hi);
+  const Dim rel = lv.labeling.flip_towards(win, owner);
+  assert(rel >= 1 && "flip_towards returned self although edge is absent");
+  const Dim bridge = lv.win_lo + rel;
+
+  route_flip_append(spec, u, bridge, out);
+  const Vertex v = out.last_vertex();
+  assert(spec.label_at(v, t) == owner);
+  assert(spec.has_edge_dim(v, i));
+  out.push_vertex(flip(v, i));
+}
+
 int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept {
   const int t = spec.level_of_dim(i);
   // Core dims: direct edge.  Level t dims: one hop more than a window
@@ -38,78 +64,98 @@ int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept {
   return t < 0 ? 1 : t + 2;
 }
 
-BroadcastSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec,
-                                          Vertex source) {
-  assert(spec.n() <= 24 && "schedule materializes 2^n calls");
-  assert(source < spec.num_vertices());
-  BroadcastSchedule schedule;
-  schedule.source = source;
-  schedule.rounds.reserve(static_cast<std::size_t>(spec.n()));
+namespace {
 
-  std::vector<Vertex> informed{source};
-  informed.reserve(spec.num_vertices());
+/// Exact upper bound on the flat path pool: the round sweeping dimension
+/// i has 2^(n-i) calls of at most route_length_bound(i) + 1 vertices.
+std::size_t pool_upper_bound(const SparseHypercubeSpec& spec) {
+  std::size_t bound = 0;
   for (Dim i = spec.n(); i >= 1; --i) {
-    Round round;
-    round.calls.reserve(informed.size());
+    bound += static_cast<std::size_t>(route_length_bound(spec, i) + 1) *
+             cube_order(spec.n() - i);
+  }
+  return bound;
+}
+
+}  // namespace
+
+FlatSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec, Vertex source) {
+  assert(spec.n() <= 28 && "schedule materializes 2^n flat calls");
+  assert(source < spec.num_vertices());
+  const int n = spec.n();
+  const std::uint64_t order = spec.num_vertices();
+
+  FlatSchedule schedule;
+  schedule.source = source;
+  schedule.reserve(static_cast<std::size_t>(n), order - 1, pool_upper_bound(spec));
+
+  std::vector<Vertex> informed;
+  informed.reserve(order);
+  informed.push_back(source);
+  for (Dim i = n; i >= 1; --i) {
+    schedule.begin_round();
     const std::size_t frontier = informed.size();
     for (std::size_t w = 0; w < frontier; ++w) {
-      Call call{route_flip(spec, informed[w], i)};
-      informed.push_back(call.receiver());
-      round.calls.push_back(std::move(call));
+      route_flip_append(spec, informed[w], i, schedule);
+      informed.push_back(schedule.last_vertex());
+      schedule.end_call();
     }
-    schedule.rounds.push_back(std::move(round));
   }
   return schedule;
 }
 
-BroadcastSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec,
-                                          Vertex source) {
+FlatSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec, Vertex source) {
   assert(spec.k() == 2);
-  assert(spec.n() <= 24);
+  assert(spec.n() <= 28);
   const int n = spec.n();
   const int m = spec.core_dim();
+  const std::uint64_t order = spec.num_vertices();
   const ConstructionLevel& lv = spec.levels().front();
 
-  BroadcastSchedule schedule;
+  FlatSchedule schedule;
   schedule.source = source;
-  std::vector<Vertex> informed{source};
+  schedule.reserve(static_cast<std::size_t>(n), order - 1, 3 * (order - 1));
+
+  std::vector<Vertex> informed;
+  informed.reserve(order);
+  informed.push_back(source);
 
   // Phase 1: dissemination between subcubes using the prefix of length
   // n - m.  For each informed w: call flip(w, i) directly when the edge
   // exists, else call flip_i(flip_j(w)) through the Rule-1 neighbor
   // flip_j(w) whose label owns dimension i.
   for (Dim i = n; i >= m + 1; --i) {
-    Round round;
+    schedule.begin_round();
     const std::size_t frontier = informed.size();
     const Label owner = lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)];
     for (std::size_t idx = 0; idx < frontier; ++idx) {
       const Vertex w = informed[idx];
-      Call call;
+      schedule.push_vertex(w);
       if (spec.has_edge_dim(w, i)) {
-        call.path = {w, flip(w, i)};
+        schedule.push_vertex(flip(w, i));
       } else {
         const Dim j = lv.labeling.flip_towards(window_value(w, 0, m), owner);
         assert(j >= 1 && j <= m);
         const Vertex via = flip(w, j);
-        call.path = {w, via, flip(via, i)};
+        schedule.push_vertex(via);
+        schedule.push_vertex(flip(via, i));
       }
-      informed.push_back(call.receiver());
-      round.calls.push_back(std::move(call));
+      informed.push_back(schedule.last_vertex());
+      schedule.end_call();
     }
-    schedule.rounds.push_back(std::move(round));
   }
 
   // Phase 2: dissemination inside each m-subcube by direct edges.
   for (Dim i = m; i >= 1; --i) {
-    Round round;
+    schedule.begin_round();
     const std::size_t frontier = informed.size();
     for (std::size_t idx = 0; idx < frontier; ++idx) {
       const Vertex w = informed[idx];
-      Call call{{w, flip(w, i)}};
-      informed.push_back(call.receiver());
-      round.calls.push_back(std::move(call));
+      schedule.push_vertex(w);
+      schedule.push_vertex(flip(w, i));
+      informed.push_back(schedule.last_vertex());
+      schedule.end_call();
     }
-    schedule.rounds.push_back(std::move(round));
   }
   return schedule;
 }

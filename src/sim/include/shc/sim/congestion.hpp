@@ -2,12 +2,16 @@
 // the quantitative side of the paper's Section-5 discussion: sparser
 // graphs push more calls over fewer edges, so we measure exactly how the
 // load distributes and what capacity a dilated network would need.
+//
+// Kernels operate on the flat schedule representation; legacy
+// BroadcastSchedule overloads convert through the shim.
 #pragma once
 
 #include <cstdint>
 #include <random>
 #include <vector>
 
+#include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/schedule.hpp"
 
 namespace shc {
@@ -28,16 +32,20 @@ struct CongestionStats {
 /// schedule that is feasible in the paper's unit-capacity model; larger
 /// values tell the capacity a dilated (multi-edge) network would need to
 /// run this schedule as-is.
+[[nodiscard]] CongestionStats analyze_congestion(const FlatSchedule& schedule);
 [[nodiscard]] CongestionStats analyze_congestion(const BroadcastSchedule& schedule);
 
 /// Minimum per-round edge capacity that would make the schedule feasible
 /// (= max_edge_load_per_round).
+[[nodiscard]] int required_edge_capacity(const FlatSchedule& schedule);
 [[nodiscard]] int required_edge_capacity(const BroadcastSchedule& schedule);
 
 /// Failure injection: returns a copy of the schedule with each call
 /// independently dropped with probability `drop_rate`.  Used by tests to
 /// confirm the validator detects incomplete broadcasts, and by benches
 /// to measure coverage degradation.
+[[nodiscard]] FlatSchedule drop_calls(const FlatSchedule& schedule, double drop_rate,
+                                      std::mt19937_64& rng);
 [[nodiscard]] BroadcastSchedule drop_calls(const BroadcastSchedule& schedule,
                                            double drop_rate, std::mt19937_64& rng);
 
@@ -46,6 +54,9 @@ struct CongestionStats {
 /// counts how many collide with the broadcast's edges — a proxy for the
 /// "competing communication processes" contention of Section 5.
 /// Returns collisions per round.
+[[nodiscard]] std::vector<std::size_t> competing_traffic_collisions(
+    const FlatSchedule& schedule, int n, int k, std::size_t flows,
+    std::mt19937_64& rng);
 [[nodiscard]] std::vector<std::size_t> competing_traffic_collisions(
     const BroadcastSchedule& schedule, int n, int k, std::size_t flows,
     std::mt19937_64& rng);

@@ -1,10 +1,11 @@
 // Adjacency oracle abstraction for the simulator.
 //
-// Broadcast schedules are validated against a NetworkView rather than a
-// concrete data structure so the same validator serves (a) materialized
-// CSR graphs (trees, baselines, small cubes) and (b) the implicit O(1)
-// sparse-hypercube edge oracle, which scales to n = 63 where
-// materialization is impossible.
+// The validator/congestion kernels are templated over the oracle type
+// (see the AdjacencyOracle concept in validator.hpp), so concrete views
+// here — and non-virtual oracles like SpecView — validate with direct
+// inlinable has_edge() calls.  The virtual NetworkView base remains as
+// the type-erased adapter for ad-hoc test oracles and heterogeneous
+// collections; it is no longer on the hot path.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 // receiver-disjoint, and each occupies at most k edges.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,11 +20,21 @@ namespace shc {
 
 /// One call: the caller path.front() transmits to the receiver
 /// path.back() along consecutive edges of the path.
+///
+/// Legacy pointer-per-call representation, kept for hand-built test
+/// schedules and as the FlatSchedule conversion-shim endpoint; producers
+/// and hot-path consumers use FlatSchedule (flat_schedule.hpp).
 struct Call {
   std::vector<Vertex> path;
 
-  [[nodiscard]] Vertex caller() const noexcept { return path.front(); }
-  [[nodiscard]] Vertex receiver() const noexcept { return path.back(); }
+  [[nodiscard]] Vertex caller() const noexcept {
+    assert(!path.empty() && "caller() on an empty call path");
+    return path.front();
+  }
+  [[nodiscard]] Vertex receiver() const noexcept {
+    assert(!path.empty() && "receiver() on an empty call path");
+    return path.back();
+  }
 
   /// Number of edges occupied (the paper's call length).
   [[nodiscard]] int length() const noexcept {

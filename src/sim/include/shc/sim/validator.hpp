@@ -2,16 +2,40 @@
 // communication.  The validator re-checks every clause of Definition 1
 // and Definition 2 of the paper; the library's correctness claims in
 // tests always go through it rather than trusting scheme proofs.
+//
+// The checking kernel is a template over the adjacency-oracle type, so
+// concrete views (GraphView, HypercubeView, SpecView) validate with
+// direct — devirtualized, inlinable — has_edge() calls.  The virtual
+// NetworkView base remains usable as a type-erased adapter: passing a
+// `const NetworkView&` instantiates the kernel over the base class and
+// dispatches each edge probe virtually, which is exactly what tests that
+// wrap ad-hoc oracles want.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "shc/bits/bitstring.hpp"
+#include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/network.hpp"
 #include "shc/sim/schedule.hpp"
 
 namespace shc {
+
+/// Anything that answers num_vertices() / has_edge() — materialized
+/// graphs, implicit cubes, sparse-hypercube specs, or the type-erased
+/// virtual NetworkView.
+template <class Net>
+concept AdjacencyOracle = requires(const Net& net, Vertex u, Vertex v) {
+  { net.num_vertices() } -> std::convertible_to<std::uint64_t>;
+  { net.has_edge(u, v) } -> std::convertible_to<bool>;
+};
 
 /// Validation policy.
 struct ValidationOptions {
@@ -54,19 +78,233 @@ struct ValidationReport {
   bool minimum_time = false;
 };
 
+namespace detail {
+
+/// Canonical undirected-edge key for 64-bit endpoints.
+struct EdgeKey {
+  Vertex a, b;
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const noexcept {
+    // splitmix-style mixing of the two endpoints.
+    std::uint64_t x = e.a * 0x9E3779B97F4A7C15ULL ^ (e.b + 0xBF58476D1CE4E5B9ULL);
+    x ^= x >> 31;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 29;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+inline EdgeKey edge_key(Vertex u, Vertex v) {
+  return u <= v ? EdgeKey{u, v} : EdgeKey{v, u};
+}
+
+/// Membership set over vertices 0..order-1.  Materializable orders get a
+/// contiguous bitmap (one probe, no hashing); the implicit n <= 63 range
+/// beyond falls back to a hash set.
+class VertexSet {
+ public:
+  explicit VertexSet(std::uint64_t order) : bitmap_(order <= kBitmapLimit) {
+    if (bitmap_) bits_.assign(static_cast<std::size_t>((order + 63) / 64), 0);
+  }
+
+  /// Inserts v; returns true iff it was not present.
+  bool insert(Vertex v) {
+    if (bitmap_) {
+      std::uint64_t& word = bits_[static_cast<std::size_t>(v >> 6)];
+      const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+      if (word & bit) return false;
+      word |= bit;
+      ++count_;
+      return true;
+    }
+    const bool fresh = set_.insert(v).second;
+    if (fresh) ++count_;
+    return fresh;
+  }
+
+  [[nodiscard]] bool contains(Vertex v) const {
+    if (bitmap_) {
+      return (bits_[static_cast<std::size_t>(v >> 6)] >> (v & 63)) & 1;
+    }
+    return set_.contains(v);
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+
+  void clear() {
+    if (bitmap_) {
+      std::fill(bits_.begin(), bits_.end(), 0);
+    } else {
+      set_.clear();
+    }
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kBitmapLimit = std::uint64_t{1} << 28;
+
+  bool bitmap_;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> bits_;
+  std::unordered_set<Vertex> set_;
+};
+
+}  // namespace detail
+
 /// Validates `schedule` against `net` under `opt`.  Checks, per round:
 /// callers informed, receivers distinct and (optionally) uninformed,
 /// every path edge exists, call length <= k, no edge used more than
 /// edge_capacity times in the round, no call re-uses an edge within its
-/// own path; finally completion and minimum-time.
-[[nodiscard]] ValidationReport validate_broadcast(const NetworkView& net,
+/// own path; finally completion and minimum-time.  Degenerate calls
+/// (empty or single-vertex paths) are rejected explicitly.
+template <AdjacencyOracle Net>
+[[nodiscard]] ValidationReport validate_broadcast(const Net& net,
+                                                  const FlatSchedule& schedule,
+                                                  const ValidationOptions& opt) {
+  ValidationReport rep;
+  const std::uint64_t order = net.num_vertices();
+
+  auto fail = [&](const std::string& msg) {
+    rep.ok = false;
+    rep.error = msg;
+    return rep;
+  };
+  auto vname = [](Vertex v) { return std::to_string(v); };
+
+  if (schedule.source >= order) return fail("source out of range");
+
+  detail::VertexSet informed(order);
+  informed.insert(schedule.source);
+  detail::VertexSet receivers(order);
+  std::optional<detail::VertexSet> touched;
+  if (opt.require_vertex_disjoint) touched.emplace(order);
+  std::unordered_map<detail::EdgeKey, int, detail::EdgeKeyHash> edge_use;
+  std::vector<Vertex> round_receivers;
+
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    const FlatSchedule::RoundView round = schedule.round(t);
+    ++rep.rounds;
+    const std::string where = "round " + std::to_string(t + 1) + ": ";
+
+    if (opt.require_completion && round.empty()) {
+      return fail(where + "empty round");
+    }
+
+    edge_use.clear();
+    receivers.clear();
+    if (touched) touched->clear();
+    round_receivers.clear();
+
+    for (const FlatSchedule::CallView call : round) {
+      if (call.size() < 2) {
+        return fail(where + "empty or zero-length call (a call needs a caller, " +
+                    "a receiver, and at least one edge)");
+      }
+      rep.max_call_length = std::max(rep.max_call_length, call.length());
+      ++rep.total_calls;
+
+      const Vertex caller = call.caller();
+      const Vertex receiver = call.receiver();
+      if (caller >= order || receiver >= order) {
+        return fail(where + "endpoint out of range");
+      }
+      if (!informed.contains(caller)) {
+        return fail(where + "caller " + vname(caller) + " not informed");
+      }
+      if (call.length() > opt.k) {
+        return fail(where + "call " + vname(caller) + "->" + vname(receiver) +
+                    " has length " + std::to_string(call.length()) + " > k=" +
+                    std::to_string(opt.k));
+      }
+      if (opt.forbid_redundant_receivers && informed.contains(receiver)) {
+        return fail(where + "receiver " + vname(receiver) + " already informed");
+      }
+      if (!receivers.insert(receiver)) {
+        return fail(where + "receiver " + vname(receiver) +
+                    " targeted by two calls");
+      }
+      round_receivers.push_back(receiver);
+
+      if (touched) {
+        for (const Vertex v : call) {
+          // Range-check before the insert: the bitmap-backed set indexes
+          // by vertex, so an out-of-range interior vertex must be
+          // reported here, not written out of bounds.
+          if (v >= order) {
+            return fail(where + "path vertex out of range");
+          }
+          if (!touched->insert(v)) {
+            return fail(where + "vertex " + vname(v) +
+                        " touched by two calls (vertex-disjoint model)");
+          }
+        }
+      }
+
+      // Walk the path: every hop an edge, no edge reused beyond capacity
+      // (the call's own edges also count toward the capacity — a single
+      // call may not traverse one edge twice in the unit-capacity model).
+      for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+        const Vertex x = call[i];
+        const Vertex y = call[i + 1];
+        if (x >= order || y >= order) {
+          return fail(where + "path vertex out of range");
+        }
+        if (x == y || !net.has_edge(x, y)) {
+          return fail(where + "no edge between " + vname(x) + " and " + vname(y));
+        }
+        const int uses = ++edge_use[detail::edge_key(x, y)];
+        if (uses > opt.edge_capacity) {
+          return fail(where + "edge {" + vname(x) + "," + vname(y) + "} used " +
+                      std::to_string(uses) + " times (capacity " +
+                      std::to_string(opt.edge_capacity) + ")");
+        }
+      }
+    }
+
+    // Receivers become informed only after the full round resolves; a
+    // vertex informed this round may not also have placed a call (it was
+    // uninformed at round start, enforced by the caller check above).
+    for (Vertex r : round_receivers) informed.insert(r);
+  }
+
+  rep.informed = informed.size();
+  if (opt.require_completion && rep.informed != order) {
+    return fail("incomplete: informed " + std::to_string(rep.informed) + " of " +
+                std::to_string(order));
+  }
+
+  rep.ok = true;
+  rep.minimum_time =
+      rep.ok && rep.rounds == ceil_log2(order) && rep.informed == order;
+  return rep;
+}
+
+/// Legacy-schedule adapter: converts through the FlatSchedule shim.
+template <AdjacencyOracle Net>
+[[nodiscard]] ValidationReport validate_broadcast(const Net& net,
                                                   const BroadcastSchedule& schedule,
-                                                  const ValidationOptions& opt);
+                                                  const ValidationOptions& opt) {
+  return validate_broadcast(net, FlatSchedule::from_legacy(schedule), opt);
+}
 
 /// Convenience: validate under the paper's exact model and require a
 /// minimum-time result.  Returns the report (callers assert report.ok &&
 /// report.minimum_time).
-[[nodiscard]] ValidationReport validate_minimum_time_k_line(
-    const NetworkView& net, const BroadcastSchedule& schedule, int k);
+template <AdjacencyOracle Net, class Sched>
+[[nodiscard]] ValidationReport validate_minimum_time_k_line(const Net& net,
+                                                            const Sched& schedule,
+                                                            int k) {
+  ValidationOptions opt;
+  opt.k = k;
+  return validate_broadcast(net, schedule, opt);
+}
+
+// The type-erased kernel instantiation lives in validator.cpp; every TU
+// that validates through the virtual base shares it.
+extern template ValidationReport validate_broadcast<NetworkView>(
+    const NetworkView&, const FlatSchedule&, const ValidationOptions&);
 
 }  // namespace shc

@@ -1,26 +1,30 @@
 #include "shc/sim/congestion.hpp"
 
 #include <algorithm>
-#include <map>
-#include <utility>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "shc/sim/validator.hpp"  // detail::EdgeKey / EdgeKeyHash
 
 namespace shc {
 namespace {
 
-using EdgePair = std::pair<Vertex, Vertex>;
-
-EdgePair canon(Vertex u, Vertex v) { return u <= v ? EdgePair{u, v} : EdgePair{v, u}; }
+using detail::EdgeKey;
+using detail::EdgeKeyHash;
+using detail::edge_key;
 
 }  // namespace
 
-CongestionStats analyze_congestion(const BroadcastSchedule& schedule) {
+CongestionStats analyze_congestion(const FlatSchedule& schedule) {
   CongestionStats stats;
-  std::map<EdgePair, int> total_load;
-  for (const Round& round : schedule.rounds) {
-    std::map<EdgePair, int> round_load;
-    for (const Call& call : round.calls) {
-      for (std::size_t i = 0; i + 1 < call.path.size(); ++i) {
-        const EdgePair e = canon(call.path[i], call.path[i + 1]);
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> total_load;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> round_load;
+  total_load.reserve(schedule.num_calls());
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    round_load.clear();
+    for (const FlatSchedule::CallView call : schedule.round(t)) {
+      for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+        const EdgeKey e = edge_key(call[i], call[i + 1]);
         ++total_load[e];
         stats.max_edge_load_per_round =
             std::max(stats.max_edge_load_per_round, ++round_load[e]);
@@ -44,37 +48,52 @@ CongestionStats analyze_congestion(const BroadcastSchedule& schedule) {
   return stats;
 }
 
-int required_edge_capacity(const BroadcastSchedule& schedule) {
+CongestionStats analyze_congestion(const BroadcastSchedule& schedule) {
+  return analyze_congestion(FlatSchedule::from_legacy(schedule));
+}
+
+int required_edge_capacity(const FlatSchedule& schedule) {
   return analyze_congestion(schedule).max_edge_load_per_round;
 }
 
-BroadcastSchedule drop_calls(const BroadcastSchedule& schedule, double drop_rate,
-                             std::mt19937_64& rng) {
+int required_edge_capacity(const BroadcastSchedule& schedule) {
+  return analyze_congestion(FlatSchedule::from_legacy(schedule)).max_edge_load_per_round;
+}
+
+FlatSchedule drop_calls(const FlatSchedule& schedule, double drop_rate,
+                        std::mt19937_64& rng) {
   std::bernoulli_distribution drop(drop_rate);
-  BroadcastSchedule out;
+  FlatSchedule out;
   out.source = schedule.source;
-  out.rounds.reserve(schedule.rounds.size());
-  for (const Round& round : schedule.rounds) {
-    Round kept;
-    for (const Call& call : round.calls) {
-      if (!drop(rng)) kept.calls.push_back(call);
+  out.reserve(static_cast<std::size_t>(schedule.num_rounds()), schedule.num_calls(),
+              schedule.num_path_vertices());
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    out.begin_round();
+    for (const FlatSchedule::CallView call : schedule.round(t)) {
+      if (drop(rng)) continue;
+      out.add_call(call);
     }
-    out.rounds.push_back(std::move(kept));
   }
   return out;
 }
 
+BroadcastSchedule drop_calls(const BroadcastSchedule& schedule, double drop_rate,
+                             std::mt19937_64& rng) {
+  return drop_calls(FlatSchedule::from_legacy(schedule), drop_rate, rng).to_legacy();
+}
+
 std::vector<std::size_t> competing_traffic_collisions(
-    const BroadcastSchedule& schedule, int n, int k, std::size_t flows,
+    const FlatSchedule& schedule, int n, int k, std::size_t flows,
     std::mt19937_64& rng) {
   std::uniform_int_distribution<Vertex> pick(0, cube_order(n) - 1);
   std::vector<std::size_t> collisions;
-  collisions.reserve(schedule.rounds.size());
-  for (const Round& round : schedule.rounds) {
-    std::map<EdgePair, int> broadcast_edges;
-    for (const Call& call : round.calls) {
-      for (std::size_t i = 0; i + 1 < call.path.size(); ++i) {
-        ++broadcast_edges[canon(call.path[i], call.path[i + 1])];
+  collisions.reserve(static_cast<std::size_t>(schedule.num_rounds()));
+  std::unordered_set<EdgeKey, EdgeKeyHash> broadcast_edges;
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    broadcast_edges.clear();
+    for (const FlatSchedule::CallView call : schedule.round(t)) {
+      for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+        broadcast_edges.insert(edge_key(call[i], call[i + 1]));
       }
     }
     std::size_t hit = 0;
@@ -89,7 +108,7 @@ std::vector<std::size_t> competing_traffic_collisions(
       while (cur != dst && hops < k) {
         const Dim d = __builtin_ctzll(cur ^ dst) + 1;  // lowest differing dim
         const Vertex nxt = flip(cur, d);
-        if (broadcast_edges.contains(canon(cur, nxt))) collided = true;
+        if (broadcast_edges.contains(edge_key(cur, nxt))) collided = true;
         cur = nxt;
         ++hops;
       }
@@ -98,6 +117,13 @@ std::vector<std::size_t> competing_traffic_collisions(
     collisions.push_back(hit);
   }
   return collisions;
+}
+
+std::vector<std::size_t> competing_traffic_collisions(
+    const BroadcastSchedule& schedule, int n, int k, std::size_t flows,
+    std::mt19937_64& rng) {
+  return competing_traffic_collisions(FlatSchedule::from_legacy(schedule), n, k, flows,
+                                      rng);
 }
 
 }  // namespace shc

@@ -1,0 +1,65 @@
+#include "shc/sim/flat_schedule.hpp"
+
+#include <sstream>
+
+#include "shc/bits/bitstring.hpp"
+
+namespace shc {
+
+FlatSchedule FlatSchedule::from_legacy(const BroadcastSchedule& legacy) {
+  FlatSchedule s;
+  s.source = legacy.source;
+  std::size_t calls = 0, vertices = 0;
+  for (const Round& r : legacy.rounds) {
+    calls += r.calls.size();
+    for (const Call& c : r.calls) vertices += c.path.size();
+  }
+  s.reserve(legacy.rounds.size(), calls, vertices);
+  for (const Round& r : legacy.rounds) {
+    s.begin_round();
+    for (const Call& c : r.calls) {
+      for (Vertex v : c.path) s.push_vertex(v);
+      s.seal_call();  // unchecked: degenerate calls are kept for the validator
+    }
+  }
+  return s;
+}
+
+BroadcastSchedule FlatSchedule::to_legacy() const {
+  BroadcastSchedule legacy;
+  legacy.source = source;
+  legacy.rounds.resize(static_cast<std::size_t>(num_rounds()));
+  for (int t = 0; t < num_rounds(); ++t) {
+    const RoundView r = round(t);
+    Round& out = legacy.rounds[static_cast<std::size_t>(t)];
+    out.calls.reserve(r.size());
+    for (const CallView call : r) {
+      out.calls.push_back(Call{{call.begin(), call.end()}});
+    }
+  }
+  return legacy;
+}
+
+std::string format_schedule(const FlatSchedule& s, int bits) {
+  std::ostringstream os;
+  auto name = [&](Vertex v) {
+    return bits > 0 ? to_bitstring(v, bits) : std::to_string(v);
+  };
+  os << "broadcast from " << name(s.source) << " in " << s.num_rounds()
+     << " round(s)\n";
+  for (int t = 0; t < s.num_rounds(); ++t) {
+    os << "  round " << (t + 1) << ":\n";
+    for (const FlatSchedule::CallView c : s.round(t)) {
+      os << "    " << name(c.caller()) << " -> " << name(c.receiver())
+         << "  (length " << c.length();
+      if (c.length() > 1) {
+        os << ", via";
+        for (std::size_t i = 1; i + 1 < c.size(); ++i) os << ' ' << name(c[i]);
+      }
+      os << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace shc

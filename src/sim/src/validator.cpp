@@ -1,155 +1,12 @@
 #include "shc/sim/validator.hpp"
 
-#include <algorithm>
-#include <sstream>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "shc/bits/bitstring.hpp"
-
 namespace shc {
-namespace {
 
-/// Canonical undirected-edge key for 64-bit endpoints.
-struct EdgeKey {
-  Vertex a, b;
-  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
-};
-
-struct EdgeKeyHash {
-  std::size_t operator()(const EdgeKey& e) const noexcept {
-    // splitmix-style mixing of the two endpoints.
-    std::uint64_t x = e.a * 0x9E3779B97F4A7C15ULL ^ (e.b + 0xBF58476D1CE4E5B9ULL);
-    x ^= x >> 31;
-    x *= 0x94D049BB133111EBULL;
-    x ^= x >> 29;
-    return static_cast<std::size_t>(x);
-  }
-};
-
-EdgeKey edge_key(Vertex u, Vertex v) {
-  return u <= v ? EdgeKey{u, v} : EdgeKey{v, u};
-}
-
-std::string vname(Vertex v) { return std::to_string(v); }
-
-}  // namespace
-
-ValidationReport validate_broadcast(const NetworkView& net,
-                                    const BroadcastSchedule& schedule,
-                                    const ValidationOptions& opt) {
-  ValidationReport rep;
-  const std::uint64_t order = net.num_vertices();
-
-  auto fail = [&](const std::string& msg) {
-    rep.ok = false;
-    rep.error = msg;
-    return rep;
-  };
-
-  if (schedule.source >= order) return fail("source out of range");
-
-  std::unordered_set<Vertex> informed{schedule.source};
-  std::unordered_map<EdgeKey, int, EdgeKeyHash> edge_use;
-  std::unordered_set<Vertex> receivers;
-  std::unordered_set<Vertex> touched;
-
-  for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
-    const Round& round = schedule.rounds[t];
-    ++rep.rounds;
-    std::ostringstream where;
-    where << "round " << (t + 1) << ": ";
-
-    if (opt.require_completion && round.calls.empty()) {
-      return fail(where.str() + "empty round");
-    }
-
-    edge_use.clear();
-    receivers.clear();
-    touched.clear();
-
-    for (const Call& call : round.calls) {
-      if (call.path.size() < 2) {
-        return fail(where.str() + "call with no edge");
-      }
-      rep.max_call_length = std::max(rep.max_call_length, call.length());
-      ++rep.total_calls;
-
-      const Vertex caller = call.caller();
-      const Vertex receiver = call.receiver();
-      if (caller >= order || receiver >= order) {
-        return fail(where.str() + "endpoint out of range");
-      }
-      if (!informed.contains(caller)) {
-        return fail(where.str() + "caller " + vname(caller) + " not informed");
-      }
-      if (call.length() > opt.k) {
-        return fail(where.str() + "call " + vname(caller) + "->" + vname(receiver) +
-                    " has length " + std::to_string(call.length()) + " > k=" +
-                    std::to_string(opt.k));
-      }
-      if (opt.forbid_redundant_receivers && informed.contains(receiver)) {
-        return fail(where.str() + "receiver " + vname(receiver) + " already informed");
-      }
-      if (!receivers.insert(receiver).second) {
-        return fail(where.str() + "receiver " + vname(receiver) +
-                    " targeted by two calls");
-      }
-
-      if (opt.require_vertex_disjoint) {
-        for (const Vertex v : call.path) {
-          if (!touched.insert(v).second) {
-            return fail(where.str() + "vertex " + vname(v) +
-                        " touched by two calls (vertex-disjoint model)");
-          }
-        }
-      }
-
-      // Walk the path: every hop an edge, no edge reused beyond capacity
-      // (the call's own edges also count toward the capacity — a single
-      // call may not traverse one edge twice in the unit-capacity model).
-      for (std::size_t i = 0; i + 1 < call.path.size(); ++i) {
-        const Vertex x = call.path[i];
-        const Vertex y = call.path[i + 1];
-        if (x >= order || y >= order) {
-          return fail(where.str() + "path vertex out of range");
-        }
-        if (x == y || !net.has_edge(x, y)) {
-          return fail(where.str() + "no edge between " + vname(x) + " and " + vname(y));
-        }
-        const int uses = ++edge_use[edge_key(x, y)];
-        if (uses > opt.edge_capacity) {
-          return fail(where.str() + "edge {" + vname(x) + "," + vname(y) +
-                      "} used " + std::to_string(uses) + " times (capacity " +
-                      std::to_string(opt.edge_capacity) + ")");
-        }
-      }
-    }
-
-    // Receivers become informed only after the full round resolves; a
-    // vertex informed this round may not also have placed a call (it was
-    // uninformed at round start, enforced by the caller check above).
-    for (Vertex r : receivers) informed.insert(r);
-  }
-
-  rep.informed = informed.size();
-  if (opt.require_completion && rep.informed != order) {
-    return fail("incomplete: informed " + std::to_string(rep.informed) + " of " +
-                std::to_string(order));
-  }
-
-  rep.ok = true;
-  rep.minimum_time =
-      rep.ok && rep.rounds == ceil_log2(order) && rep.informed == order;
-  return rep;
-}
-
-ValidationReport validate_minimum_time_k_line(const NetworkView& net,
-                                              const BroadcastSchedule& schedule,
-                                              int k) {
-  ValidationOptions opt;
-  opt.k = k;
-  return validate_broadcast(net, schedule, opt);
-}
+// Shared instantiation of the checking kernel over the type-erased
+// virtual adapter; concrete oracle types instantiate (and devirtualize)
+// in their own translation units.
+template ValidationReport validate_broadcast<NetworkView>(const NetworkView&,
+                                                          const FlatSchedule&,
+                                                          const ValidationOptions&);
 
 }  // namespace shc

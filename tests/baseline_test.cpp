@@ -16,7 +16,7 @@
 namespace shc {
 namespace {
 
-ValidationReport check_line(const Graph& g, const BroadcastSchedule& s) {
+ValidationReport check_line(const Graph& g, const FlatSchedule& s) {
   const GraphView view(g);
   // Unbounded-length line model: k = N - 1.
   return validate_minimum_time_k_line(view, s, static_cast<int>(g.num_vertices()) - 1);

@@ -2,6 +2,8 @@
 // (Theorems 4 and 6), all certified through the simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "shc/bits/bitstring.hpp"
 #include "shc/mlbg/broadcast.hpp"
 #include "shc/mlbg/params.hpp"
@@ -65,14 +67,48 @@ TEST(RouteFlip, EveryDimEveryVertexWithinBound) {
   }
 }
 
+// Designed-spec sweep across k in {2, 3, 4}: every dimension's realized
+// route stays within route_length_bound (hence within k), starts at u,
+// and ends at a vertex realizing the dimension-i flip above the detour's
+// disturbance zone — the documented route_flip contract.
+TEST(RouteFlip, LengthBoundHoldsAcrossDesignedKSweep) {
+  const int n = 9;
+  for (int k = 2; k <= 4; ++k) {
+    const auto spec = design_sparse_hypercube(n, k);
+    ASSERT_EQ(spec.k(), k);
+    for (Vertex u = 0; u < spec.num_vertices(); ++u) {
+      for (Dim i = 1; i <= spec.n(); ++i) {
+        const int bound = route_length_bound(spec, i);
+        EXPECT_GE(bound, 1);
+        EXPECT_LE(bound, k) << "k=" << k << " dim " << i;
+        const auto p = route_flip(spec, u, i);
+        ASSERT_GE(p.size(), 2u);
+        // Starts at u...
+        EXPECT_EQ(p.front(), u);
+        // ...realizes the dimension-i flip above the disturbance zone...
+        EXPECT_EQ(coord(p.back(), i), 1 - coord(u, i));
+        EXPECT_EQ(p.back() >> i, flip(u, i) >> i);
+        // ...within the per-dimension bound, over real edges.
+        EXPECT_LE(static_cast<int>(p.size()) - 1, bound)
+            << "k=" << k << " u=" << u << " dim " << i;
+        for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+          EXPECT_TRUE(spec.has_edge(p[j], p[j + 1]));
+        }
+        // Core dimensions must be direct edges (bound 1 is tight).
+        if (spec.level_of_dim(i) < 0) EXPECT_EQ(p.size(), 2u);
+      }
+    }
+  }
+}
+
 TEST(Broadcast2, Example4TraceFromZero) {
   const auto g42 = make_g42();
   const auto schedule = make_broadcast_schedule(g42, 0);
   ASSERT_EQ(schedule.num_rounds(), 4);
   // Round 1: the single call from 0000 must be a length-2 detour into
   // the 1xxx half (dim 4 is not owned by 0000's label).
-  ASSERT_EQ(schedule.rounds[0].calls.size(), 1u);
-  const Call& first = schedule.rounds[0].calls[0];
+  ASSERT_EQ(schedule.round(0).size(), 1u);
+  const FlatSchedule::CallView first = schedule.round(0)[0];
   EXPECT_EQ(first.caller(), 0u);
   EXPECT_EQ(first.length(), 2);
   EXPECT_EQ(coord(first.receiver(), 4), 1);
@@ -81,12 +117,12 @@ TEST(Broadcast2, Example4TraceFromZero) {
   EXPECT_TRUE(first.receiver() == *parse_bitstring("1010") ||
               first.receiver() == *parse_bitstring("1001"));
   // Round 2: two calls, receivers in the two still-empty dim-3 halves.
-  ASSERT_EQ(schedule.rounds[1].calls.size(), 2u);
+  ASSERT_EQ(schedule.round(1).size(), 2u);
   // Rounds 3-4: subcube flood with direct edges only.
   for (int t = 2; t < 4; ++t) {
-    for (const Call& c : schedule.rounds[t].calls) EXPECT_EQ(c.length(), 1);
+    for (const FlatSchedule::CallView c : schedule.round(t)) EXPECT_EQ(c.length(), 1);
   }
-  const auto report = validate_minimum_time_k_line(SparseHypercubeView{g42}, schedule, 2);
+  const auto report = validate_minimum_time_k_line(SpecView{g42}, schedule, 2);
   EXPECT_TRUE(report.ok) << report.error;
   EXPECT_TRUE(report.minimum_time);
 }
@@ -98,11 +134,19 @@ TEST(Broadcast2, LiteralSchemeMatchesUnified) {
     const auto b = make_broadcast2_literal(spec, s);
     ASSERT_EQ(a.num_rounds(), b.num_rounds());
     for (int t = 0; t < a.num_rounds(); ++t) {
-      ASSERT_EQ(a.rounds[t].calls.size(), b.rounds[t].calls.size()) << "round " << t;
-      for (std::size_t c = 0; c < a.rounds[t].calls.size(); ++c) {
-        EXPECT_EQ(a.rounds[t].calls[c].path, b.rounds[t].calls[c].path);
+      ASSERT_EQ(a.round(t).size(), b.round(t).size()) << "round " << t;
+      for (std::size_t c = 0; c < a.round(t).size(); ++c) {
+        const auto pa = a.round(t)[c];
+        const auto pb = b.round(t)[c];
+        EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()))
+            << "round " << t << " call " << c;
       }
     }
+    // Arena-level equality, and equality after a full round trip through
+    // the legacy conversion shim: the flat migration must not perturb
+    // the literal transcription cross-check.
+    EXPECT_TRUE(a == b);
+    EXPECT_TRUE(FlatSchedule::from_legacy(a.to_legacy()) == b);
   }
 }
 
@@ -150,8 +194,8 @@ TEST(Broadcast, ExactDoublingEveryRound) {
   const auto spec = SparseHypercubeSpec::construct(7, {2, 4});
   const auto schedule = make_broadcast_schedule(spec, 19);
   std::size_t informed = 1;
-  for (const Round& r : schedule.rounds) {
-    EXPECT_EQ(r.calls.size(), informed);  // every informed vertex calls
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    EXPECT_EQ(schedule.round(t).size(), informed);  // every informed vertex calls
     informed *= 2;
   }
   EXPECT_EQ(informed, spec.num_vertices());

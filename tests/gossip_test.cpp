@@ -26,8 +26,8 @@ INSTANTIATE_TEST_SUITE_P(Cubes, HypercubeGossip, ::testing::Range(1, 11));
 
 TEST(HypercubeGossip, EachRoundIsAPerfectMatching) {
   const auto schedule = hypercube_exchange_gossip(5);
-  for (const Round& r : schedule.rounds) {
-    EXPECT_EQ(r.calls.size(), cube_order(4));
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    EXPECT_EQ(schedule.round(t).size(), cube_order(4));
   }
 }
 
@@ -58,7 +58,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GossipValidator, RejectsDoubleExchange) {
   const HypercubeView q2(2);
   GossipSchedule s;
-  s.rounds.push_back(Round{{Call{{0b00, 0b01}}, Call{{0b00, 0b10}}}});
+  s.begin_round();
+  s.add_call({0b00, 0b01});
+  s.add_call({0b00, 0b10});
   const auto rep = validate_gossip(q2, s, 1);
   EXPECT_FALSE(rep.ok);
   EXPECT_NE(rep.error.find("two exchanges"), std::string::npos);
@@ -68,8 +70,9 @@ TEST(GossipValidator, RejectsSharedEdge) {
   const HypercubeView q3(3);
   GossipSchedule s;
   // Both exchanges route through edge {000, 001}.
-  s.rounds.push_back(
-      Round{{Call{{0b010, 0b000, 0b001}}, Call{{0b011, 0b001, 0b000}}}});
+  s.begin_round();
+  s.add_call({0b010, 0b000, 0b001});
+  s.add_call({0b011, 0b001, 0b000});
   const auto rep = validate_gossip(q3, s, 2);
   EXPECT_FALSE(rep.ok);
   EXPECT_NE(rep.error.find("used twice"), std::string::npos);
@@ -78,7 +81,8 @@ TEST(GossipValidator, RejectsSharedEdge) {
 TEST(GossipValidator, RejectsOverlongExchange) {
   const HypercubeView q3(3);
   GossipSchedule s;
-  s.rounds.push_back(Round{{Call{{0b000, 0b001, 0b011}}}});
+  s.begin_round();
+  s.add_call({0b000, 0b001, 0b011});
   EXPECT_FALSE(validate_gossip(q3, s, 1).ok);
   // ... but k = 2 accepts the path; completion still fails.
   const auto rep = validate_gossip(q3, s, 2);
@@ -89,7 +93,9 @@ TEST(GossipValidator, RejectsOverlongExchange) {
 TEST(GossipValidator, DetectsIncompleteness) {
   const HypercubeView q2(2);
   GossipSchedule s;
-  s.rounds.push_back(Round{{Call{{0b00, 0b01}}, Call{{0b10, 0b11}}}});
+  s.begin_round();
+  s.add_call({0b00, 0b01});
+  s.add_call({0b10, 0b11});
   // After one matching round nobody knows the opposite pair's tokens.
   const auto rep = validate_gossip(q2, s, 1);
   EXPECT_FALSE(rep.ok);
@@ -108,7 +114,7 @@ TEST(SparseGossip, GatherPhaseAloneIsIncomplete) {
   const auto spec = SparseHypercubeSpec::construct_base(5, 2);
   const SparseHypercubeView view(spec);
   auto schedule = sparse_gather_broadcast_gossip(spec, 0);
-  schedule.rounds.resize(5);  // keep only the gather half
+  schedule.truncate_rounds(5);  // keep only the gather half
   const auto rep = validate_gossip(view, schedule, 2);
   EXPECT_FALSE(rep.ok);
   EXPECT_FALSE(rep.complete);

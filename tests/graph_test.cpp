@@ -1,6 +1,9 @@
 // Unit tests for the CSR graph substrate and algorithms.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "shc/graph/algorithms.hpp"
 #include "shc/graph/generators.hpp"
 #include "shc/graph/graph.hpp"
@@ -16,6 +19,31 @@ Graph triangle_with_tail() {
   b.add_edge(2, 0);
   b.add_edge(2, 3);
   return std::move(b).build();
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdgesUnconditionally) {
+  // Duplicate detection must not rely on assert (which vanishes under
+  // NDEBUG): build() throws, naming the offending edge, in every build
+  // configuration — insertion order and orientation notwithstanding.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 1);  // duplicate of {1, 2}, reversed orientation
+  try {
+    const Graph g = std::move(b).build();
+    FAIL() << "duplicate edge not detected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate edge {1,2}"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 2);
+  EXPECT_THROW((void)std::move(b).build(), std::invalid_argument);
 }
 
 TEST(Graph, BuildAndQuery) {

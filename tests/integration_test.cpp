@@ -72,8 +72,8 @@ TEST(Integration, DesignBuildBroadcastAnalyze) {
     EXPECT_EQ(stats.total_edge_hops, static_cast<std::uint64_t>(schedule.num_calls()) +
                                          [&] {
                                            std::uint64_t extra = 0;
-                                           for (const auto& r : schedule.rounds)
-                                             for (const auto& c : r.calls)
+                                           for (int t = 0; t < schedule.num_rounds(); ++t)
+                                             for (const auto c : schedule.round(t))
                                                extra += static_cast<std::uint64_t>(
                                                    c.length() - 1);
                                            return extra;

@@ -39,6 +39,55 @@ TEST(Validator, RejectsUninformedCaller) {
   EXPECT_NE(rep.error.find("not informed"), std::string::npos);
 }
 
+// Regression: an empty or single-vertex path used to be undefined
+// behavior waiting to happen (Call::caller()/receiver() on an empty
+// vector).  The accessors now assert in debug builds, and the validator
+// rejects degenerate calls explicitly instead of touching them.
+TEST(Validator, RejectsEmptyAndZeroLengthCallsExplicitly) {
+  const HypercubeView q2(2);
+  ValidationOptions opt;
+  opt.k = 1;
+  opt.require_completion = false;
+
+  BroadcastSchedule empty_path;
+  empty_path.source = 0;
+  empty_path.rounds.push_back(Round{{Call{{}}}});
+  const auto rep_empty = validate_broadcast(q2, empty_path, opt);
+  EXPECT_FALSE(rep_empty.ok);
+  EXPECT_NE(rep_empty.error.find("empty or zero-length call"), std::string::npos);
+
+  BroadcastSchedule zero_length;
+  zero_length.source = 0;
+  zero_length.rounds.push_back(Round{{Call{{0b00}}}});  // caller, no receiver
+  const auto rep_zero = validate_broadcast(q2, zero_length, opt);
+  EXPECT_FALSE(rep_zero.ok);
+  EXPECT_NE(rep_zero.error.find("empty or zero-length call"), std::string::npos);
+
+  // Degenerate calls survive the legacy -> flat conversion shim intact
+  // (the validator, not the converter, owns the rejection).
+  const FlatSchedule flat = FlatSchedule::from_legacy(zero_length);
+  ASSERT_EQ(flat.num_calls(), 1u);
+  EXPECT_EQ(flat.call(0).size(), 1u);
+  EXPECT_FALSE(validate_broadcast(q2, flat, opt).ok);
+}
+
+// Regression: the vertex-disjoint model tracks touched vertices in a
+// bitmap indexed by vertex id; an out-of-range interior path vertex must
+// be reported cleanly before that bitmap is touched.
+TEST(Validator, VertexDisjointRejectsOutOfRangeInteriorVertex) {
+  const HypercubeView q2(2);
+  BroadcastSchedule s;
+  s.source = 0;
+  s.rounds.push_back(Round{{Call{{0b00, Vertex{1000000}, 0b01}}}});
+  ValidationOptions opt;
+  opt.k = 2;
+  opt.require_completion = false;
+  opt.require_vertex_disjoint = true;
+  const auto rep = validate_broadcast(q2, s, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("out of range"), std::string::npos);
+}
+
 TEST(Validator, RejectsOverlongCall) {
   const HypercubeView q3(3);
   BroadcastSchedule s;
