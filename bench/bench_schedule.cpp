@@ -97,6 +97,56 @@ void print_flat_engine_proof() {
                "SpecView oracle — no materialized graph.\n\n";
 }
 
+/// The streaming pipeline's acceptance row: certify Broadcast_k at
+/// large n with the round-streamed validator.  The schedule is never
+/// materialized; the gate enforces that the scratch arena's high-water
+/// mark stays within the largest single round's footprint, and that
+/// the verdict is a validated minimum-time broadcast.  n = 30 streams
+/// 2^30 - 1 calls (the materialized engine caps at n <= 28).
+void BM_StreamingCertify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = design_sparse_hypercube(n, 2);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  StreamingCertification cert;
+  for (auto _ : state) {
+    cert = certify_broadcast_streaming(spec, 0, opt, /*threads=*/1);
+    if (!cert.report.ok || !cert.report.minimum_time) {
+      std::cout << "FAIL: streaming n=" << n
+                << " did not certify minimum-time: " << cert.report.error << "\n";
+      std::exit(1);
+    }
+    if (cert.peak_round_arena_bytes > cert.largest_round_arena_bytes) {
+      std::cout << "FAIL: streaming n=" << n << " peak arena "
+                << cert.peak_round_arena_bytes
+                << " B exceeds the largest-round bound "
+                << cert.largest_round_arena_bytes << " B\n";
+      std::exit(1);
+    }
+  }
+  state.counters["calls"] = static_cast<double>(cert.calls);
+  state.counters["peak_round_arena_bytes"] =
+      static_cast<double>(cert.peak_round_arena_bytes);
+  state.counters["largest_round_arena_bytes"] =
+      static_cast<double>(cert.largest_round_arena_bytes);
+  state.counters["whole_schedule_arena_bytes"] =
+      static_cast<double>(cert.whole_schedule_arena_bytes);
+  state.counters["peak_edge_table_bytes"] =
+      static_cast<double>(cert.peak_edge_table_bytes);
+  state.counters["minimum_time"] = cert.report.minimum_time ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cert.calls));
+}
+// Trajectory points inside the materialized range, then the flagship
+// n = 30 row that only the streaming engine can certify.  Single
+// iteration: each run is a full 2^n-call production + validation.
+BENCHMARK(BM_StreamingCertify)
+    ->Arg(20)
+    ->Arg(24)
+    ->Arg(30)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
 void BM_FlatScheduleConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto spec = design_sparse_hypercube(n, 2);

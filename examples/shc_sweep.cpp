@@ -1,0 +1,228 @@
+// shc_sweep — grid sweep of streaming-certified broadcast scenarios.
+//
+// Runs a grid of (n, k/cuts, model-variant) scenarios through the
+// streaming validation pipeline (emit_broadcast_rounds producing into a
+// StreamingBroadcastValidator — no schedule is ever materialized), plus
+// parallel congestion analysis for the materializable sizes, and emits
+// one JSON record per scenario.  Scenarios run in parallel across a
+// worker pool; output order is deterministic (grid order).
+//
+// Usage:
+//   shc_sweep [--threads T] [--out PATH] [--max-n N] [--big N]
+//
+//   --threads T   scenario workers (default: hardware concurrency)
+//   --out PATH    write JSON lines to PATH instead of stdout
+//   --max-n N     cap the grid's n (default 16)
+//   --big N       append one streaming-only k=2 scenario at n=N
+//                 (e.g. --big 30; needs RAM for the 2^N frontier)
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shc/shc.hpp"
+
+namespace {
+
+using namespace shc;
+
+struct Scenario {
+  int n = 0;
+  int k = 2;
+  bool vertex_disjoint = false;
+  bool analyze_congestion_stats = false;  // materialize + edge-load stats
+  int inner_threads = 1;                  // workers inside the validator
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string run_scenario(const Scenario& sc) {
+  const auto spec = design_sparse_hypercube(sc.n, sc.k);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  opt.require_vertex_disjoint = sc.vertex_disjoint;
+
+  const auto start = std::chrono::steady_clock::now();
+  const StreamingCertification cert =
+      certify_broadcast_streaming(spec, 0, opt, sc.inner_threads);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::ostringstream os;
+  os << "{\"n\":" << sc.n << ",\"k\":" << spec.k() << ",\"cuts\":[";
+  for (std::size_t i = 0; i < spec.cuts().size(); ++i) {
+    os << (i ? "," : "") << spec.cuts()[i];
+  }
+  os << "],\"model\":\""
+     << (sc.vertex_disjoint ? "vertex-disjoint" : "edge-disjoint") << '"'
+     << ",\"ok\":" << (cert.report.ok ? "true" : "false")
+     << ",\"minimum_time\":" << (cert.report.minimum_time ? "true" : "false")
+     << ",\"rounds\":" << cert.report.rounds
+     << ",\"calls\":" << cert.calls
+     << ",\"max_call_length\":" << cert.report.max_call_length
+     << ",\"peak_round_arena_bytes\":" << cert.peak_round_arena_bytes
+     << ",\"largest_round_arena_bytes\":" << cert.largest_round_arena_bytes
+     << ",\"whole_schedule_arena_bytes\":" << cert.whole_schedule_arena_bytes
+     << ",\"seconds\":" << seconds;
+  if (!cert.report.ok) {
+    os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
+  }
+
+  if (sc.analyze_congestion_stats) {
+    const auto schedule = make_broadcast_schedule(spec, 0);
+    const CongestionStats stats =
+        analyze_congestion_parallel(schedule, sc.inner_threads);
+    os << ",\"distinct_edges_used\":" << stats.distinct_edges_used
+       << ",\"total_edge_hops\":" << stats.total_edge_hops
+       << ",\"max_edge_load_total\":" << stats.max_edge_load_total
+       << ",\"required_edge_capacity\":" << stats.max_edge_load_per_round
+       << ",\"mean_edge_load\":" << stats.mean_edge_load;
+  }
+  os << '}';
+  return os.str();
+}
+
+/// Strict parse: the whole argument must be a number, or we exit with
+/// usage — a silently-defaulted typo would drop scenarios from the
+/// sweep while still exiting 0.
+int parse_int_or_die(const char* s) {
+  int v = 0;
+  const char* end = s + std::strlen(s);
+  const auto [ptr, ec] = std::from_chars(s, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    std::cerr << "shc_sweep: not a number: " << s << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  int max_n = 16;
+  int big_n = 0;
+  std::string out_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--threads" && a + 1 < argc) threads = parse_int_or_die(argv[++a]);
+    else if (arg == "--out" && a + 1 < argc) out_path = argv[++a];
+    else if (arg == "--max-n" && a + 1 < argc) max_n = parse_int_or_die(argv[++a]);
+    else if (arg == "--big" && a + 1 < argc) big_n = parse_int_or_die(argv[++a]);
+    else {
+      std::cerr << "usage: shc_sweep [--threads T] [--out PATH] [--max-n N] "
+                   "[--big N]\n";
+      return 2;
+    }
+  }
+  if (big_n > 32 || max_n > 32) {
+    std::cerr << "shc_sweep: n is capped at 32 (the streaming producer holds "
+                 "the 2^n-vertex frontier in memory)\n";
+    return 2;
+  }
+
+  std::vector<Scenario> grid;
+  for (int n = 8; n <= max_n; n += 2) {
+    for (int k = 2; k <= 4; ++k) {
+      for (const bool vd : {false, true}) {
+        Scenario sc;
+        sc.n = n;
+        sc.k = k;
+        sc.vertex_disjoint = vd;
+        sc.analyze_congestion_stats = !vd && n <= 14;
+        grid.push_back(sc);
+      }
+    }
+  }
+  // The flagship --big scenario runs single-flight *after* the grid
+  // pool joins (it gets the whole worker budget internally), so its
+  // recorded seconds are not polluted by grid contention.
+  Scenario big;
+  if (big_n > 0) {
+    big.n = big_n;
+    big.k = 2;
+    big.inner_threads = threads;
+  }
+
+  // Open the output before doing any work, so a bad path fails fast
+  // instead of discarding a finished sweep.
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "shc_sweep: cannot open " << out_path << "\n";
+      return 1;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  // Scenario-level pool; results land by index so output is grid-ordered.
+  std::vector<std::string> results(grid.size());
+  std::atomic<std::size_t> next{0};
+  const int workers =
+      std::max(1, std::min<int>(threads, static_cast<int>(grid.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= results.size()) return;
+        try {
+          results[i] = run_scenario(grid[i]);
+        } catch (const std::exception& e) {
+          // An exception escaping a std::thread would std::terminate and
+          // lose the whole sweep; record the failure instead.
+          results[i] = "{\"n\":" + std::to_string(grid[i].n) +
+                       ",\"k\":" + std::to_string(grid[i].k) +
+                       ",\"ok\":false,\"error\":\"" + json_escape(e.what()) +
+                       "\"}";
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  // Grid results are flushed before the flagship row runs: if the
+  // big-memory scenario dies (e.g. bad_alloc on an undersized box) the
+  // finished sweep is already on disk.
+  bool all_ok = true;
+  auto emit = [&](const std::string& line) {
+    out << line << '\n';
+    if (line.find("\"ok\":false") != std::string::npos) all_ok = false;
+  };
+  for (const std::string& line : results) emit(line);
+  out.flush();
+
+  std::size_t emitted = results.size();
+  if (big_n > 0) {
+    try {
+      emit(run_scenario(big));
+    } catch (const std::exception& e) {
+      emit("{\"n\":" + std::to_string(big_n) + ",\"ok\":false,\"error\":\"" +
+           json_escape(e.what()) + "\"}");
+    }
+    ++emitted;
+  }
+  if (!out_path.empty()) {
+    std::cout << "shc_sweep: " << emitted << " scenarios -> " << out_path
+              << "\n";
+  }
+  return all_ok ? 0 : 1;
+}

@@ -104,13 +104,20 @@ template <AdjacencyOracle Net>
                                            const GossipSchedule& schedule, int k) {
   GossipReport rep;
   const std::uint64_t order = net.num_vertices();
-  assert(order <= (std::uint64_t{1} << 13) && "knowledge matrix guarded to 2^13");
 
   auto fail = [&](std::string msg) {
     rep.ok = false;
     rep.error = std::move(msg);
     return rep;
   };
+
+  // Hard guard, not an assert: in Release an oversized oracle would
+  // silently allocate the O(N^2)-bit knowledge matrix.
+  if (order > (std::uint64_t{1} << 13)) {
+    return fail("network order " + std::to_string(order) +
+                " exceeds the gossip validator limit 2^13 (exact knowledge "
+                "tracking costs N^2 bits)");
+  }
 
   detail::KnowledgeMatrix know(order);
   std::unordered_set<detail::EdgeKey, detail::EdgeKeyHash> round_edges;
@@ -141,6 +148,12 @@ template <AdjacencyOracle Net>
       for (std::size_t i = 0; i + 1 < call.size(); ++i) {
         const Vertex x = call[i];
         const Vertex y = call[i + 1];
+        // Mirror validate_broadcast: interior path vertices must be
+        // range-checked before they reach the adjacency oracle (a
+        // GraphView would index out of bounds otherwise).
+        if (x >= order || y >= order) {
+          return fail(where + "path vertex out of range");
+        }
         if (x == y || !net.has_edge(x, y)) {
           return fail(where + "no edge between " + std::to_string(x) + " and " +
                       std::to_string(y));

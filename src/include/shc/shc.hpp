@@ -26,7 +26,9 @@
 #include "shc/sim/congestion.hpp"
 #include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/network.hpp"
+#include "shc/sim/round_sink.hpp"
 #include "shc/sim/schedule.hpp"
+#include "shc/sim/streaming_validator.hpp"
 #include "shc/sim/validator.hpp"
 #include "shc/baseline/hypercube_broadcast.hpp"
 #include "shc/baseline/path_star.hpp"

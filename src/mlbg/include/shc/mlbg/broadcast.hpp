@@ -16,8 +16,13 @@
 // proportional to the total path length.
 #pragma once
 
+#include <cassert>
+#include <vector>
+
 #include "shc/mlbg/spec.hpp"
 #include "shc/sim/flat_schedule.hpp"
+#include "shc/sim/round_sink.hpp"
+#include "shc/sim/validator.hpp"
 
 namespace shc {
 
@@ -33,23 +38,128 @@ namespace shc {
 [[nodiscard]] std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u,
                                              Dim i);
 
-/// Appends the route_flip(spec, u, i) path to the call currently being
-/// built in `out` (allocation-free once the arena is reserved).  The
-/// caller seals the call with out.end_call().
-void route_flip_append(const SparseHypercubeSpec& spec, Vertex u, Dim i,
-                       FlatSchedule& out);
-
 /// Worst-case route_flip length for dimension i in this spec
 /// (= owning level index + 2; 1 for core dimensions).
 [[nodiscard]] int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept;
+
+/// Appends the route_flip(spec, u, i) path to the call currently being
+/// built in `out` (allocation-free into a reserved arena; templated so
+/// any RoundSink — the whole-arena FlatSchedule or a streaming
+/// consumer — receives the path directly).  The caller seals the call
+/// with out.end_call().
+template <RoundSink Sink>
+void route_flip_append(const SparseHypercubeSpec& spec, Vertex u, Dim i,
+                       Sink& out) {
+  assert(i >= 1 && i <= spec.n());
+  if (spec.has_edge_dim(u, i)) {
+    out.push_vertex(u);
+    out.push_vertex(flip(u, i));
+    return;
+  }
+
+  const int t = spec.level_of_dim(i);
+  assert(t >= 0 && "core dimensions always have edges");
+  const ConstructionLevel& lv = spec.levels()[static_cast<std::size_t>(t)];
+  const Label owner = lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)];
+
+  const Vertex win = window_value(u, lv.win_lo, lv.win_hi);
+  const Dim rel = lv.labeling.flip_towards(win, owner);
+  assert(rel >= 1 && "flip_towards returned self although edge is absent");
+  const Dim bridge = lv.win_lo + rel;
+
+  route_flip_append(spec, u, bridge, out);
+  const Vertex v = out.last_vertex();
+  assert(spec.label_at(v, t) == owner);
+  assert(spec.has_edge_dim(v, i));
+  out.push_vertex(flip(v, i));
+}
+
+/// The unified Broadcast_k dimension sweep as a streaming producer:
+/// emits the n rounds one at a time into any RoundSink.  Only the
+/// frontier (informed-vertex list) is held by the producer; whether the
+/// schedule is materialized is the sink's choice, which is what lifts
+/// the certified range to n <= 32 — memory is the frontier plus the
+/// sink's largest-round buffer, never 2^n - 1 calls at once.
+///
+/// Optional sink hooks (detected statically): reserve_round(calls,
+/// path_vertices) is called with exact per-round counts before each
+/// begin_round(); aborted() stops the sweep early (e.g. when a
+/// validating sink has already failed).  Pre: spec.n() <= 32.
+template <RoundSink Sink>
+void emit_broadcast_rounds(const SparseHypercubeSpec& spec, Vertex source,
+                           Sink& sink) {
+  assert(spec.n() <= 32 && "producer holds the 2^n-vertex frontier in memory");
+  assert(source < spec.num_vertices());
+  const int n = spec.n();
+
+  std::vector<Vertex> informed;
+  informed.reserve(spec.num_vertices());
+  informed.push_back(source);
+  for (Dim i = n; i >= 1; --i) {
+    if constexpr (requires(const Sink& s) {
+                    { s.aborted() } -> std::convertible_to<bool>;
+                  }) {
+      if (sink.aborted()) return;
+    }
+    const std::size_t frontier = informed.size();
+    if constexpr (requires(Sink& s) {
+                    s.reserve_round(std::size_t{}, std::size_t{});
+                  }) {
+      sink.reserve_round(
+          frontier,
+          frontier * static_cast<std::size_t>(route_length_bound(spec, i) + 1));
+    }
+    sink.begin_round();
+    for (std::size_t w = 0; w < frontier; ++w) {
+      route_flip_append(spec, informed[w], i, sink);
+      informed.push_back(sink.last_vertex());
+      sink.end_call();
+    }
+    sink.end_round();
+  }
+}
 
 /// The unified Broadcast_k scheme from `source`: n rounds, round t
 /// sweeping dimension n - t + 1, informed set exactly doubling.  The
 /// schedule is k-line feasible for k = spec.k() (validated in tests via
 /// the simulator, never assumed).  Memory: 2^n - 1 flat calls, one
-/// arena; pre: n <= 28.
+/// arena; pre: n <= 28 (use certify_broadcast_streaming beyond).
 [[nodiscard]] FlatSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec,
                                                    Vertex source);
+
+/// Outcome of a streamed production + validation run.
+struct StreamingCertification {
+  ValidationReport report;  ///< identical to the serial validator's verdict
+
+  /// Observed high-water mark of the consumer's round buffer.
+  std::size_t peak_round_arena_bytes = 0;
+
+  /// A-priori bound: the arena footprint of the largest single round.
+  /// The pipeline guarantees peak_round_arena_bytes <= this.
+  std::size_t largest_round_arena_bytes = 0;
+
+  /// What materializing the whole schedule would have reserved — the
+  /// denominator of the streaming memory claim.
+  std::size_t whole_schedule_arena_bytes = 0;
+
+  /// High-water mark of the validator's per-round edge table (0 when
+  /// every round's edge-disjointness was implied by single-hop
+  /// structure) — reported so the pipeline's full memory footprint is
+  /// visible, not just the schedule arena.
+  std::size_t peak_edge_table_bytes = 0;
+
+  std::uint64_t calls = 0;           ///< calls streamed through the sink
+  std::uint64_t path_vertices = 0;   ///< path vertices streamed
+};
+
+/// Runs Broadcast_k from `source` through the streaming pipeline:
+/// emit_broadcast_rounds producing into a StreamingBroadcastValidator
+/// over the implicit SpecView oracle, `threads` workers sharding each
+/// round's checks.  No schedule is ever materialized; peak schedule
+/// memory is the largest single round.  Pre: spec.n() <= 32.
+[[nodiscard]] StreamingCertification certify_broadcast_streaming(
+    const SparseHypercubeSpec& spec, Vertex source, const ValidationOptions& opt,
+    int threads = 1);
 
 /// Literal transcription of the paper's Scheme Broadcast_2 (two explicit
 /// phases).  Pre: spec.k() == 2.  Used by tests to certify that the

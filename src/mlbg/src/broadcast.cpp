@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "shc/sim/streaming_validator.hpp"
+
 namespace shc {
 
 std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u, Dim i) {
@@ -29,32 +31,6 @@ std::vector<Vertex> route_flip(const SparseHypercubeSpec& spec, Vertex u, Dim i)
   assert(spec.has_edge_dim(v, i));
   path.push_back(flip(v, i));
   return path;
-}
-
-void route_flip_append(const SparseHypercubeSpec& spec, Vertex u, Dim i,
-                       FlatSchedule& out) {
-  assert(i >= 1 && i <= spec.n());
-  if (spec.has_edge_dim(u, i)) {
-    out.push_vertex(u);
-    out.push_vertex(flip(u, i));
-    return;
-  }
-
-  const int t = spec.level_of_dim(i);
-  assert(t >= 0 && "core dimensions always have edges");
-  const ConstructionLevel& lv = spec.levels()[static_cast<std::size_t>(t)];
-  const Label owner = lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)];
-
-  const Vertex win = window_value(u, lv.win_lo, lv.win_hi);
-  const Dim rel = lv.labeling.flip_towards(win, owner);
-  assert(rel >= 1 && "flip_towards returned self although edge is absent");
-  const Dim bridge = lv.win_lo + rel;
-
-  route_flip_append(spec, u, bridge, out);
-  const Vertex v = out.last_vertex();
-  assert(spec.label_at(v, t) == owner);
-  assert(spec.has_edge_dim(v, i));
-  out.push_vertex(flip(v, i));
 }
 
 int route_length_bound(const SparseHypercubeSpec& spec, Dim i) noexcept {
@@ -85,23 +61,70 @@ FlatSchedule make_broadcast_schedule(const SparseHypercubeSpec& spec, Vertex sou
   const int n = spec.n();
   const std::uint64_t order = spec.num_vertices();
 
+  // The whole-arena builder is just the streaming producer pointed at a
+  // FlatSchedule sink with the full reservation made up front.
   FlatSchedule schedule;
   schedule.source = source;
   schedule.reserve(static_cast<std::size_t>(n), order - 1, pool_upper_bound(spec));
-
-  std::vector<Vertex> informed;
-  informed.reserve(order);
-  informed.push_back(source);
-  for (Dim i = n; i >= 1; --i) {
-    schedule.begin_round();
-    const std::size_t frontier = informed.size();
-    for (std::size_t w = 0; w < frontier; ++w) {
-      route_flip_append(spec, informed[w], i, schedule);
-      informed.push_back(schedule.last_vertex());
-      schedule.end_call();
-    }
-  }
+  emit_broadcast_rounds(spec, source, schedule);
   return schedule;
+}
+
+StreamingCertification certify_broadcast_streaming(const SparseHypercubeSpec& spec,
+                                                   Vertex source,
+                                                   const ValidationOptions& opt,
+                                                   int threads) {
+  const int n = spec.n();
+
+  StreamingCertification cert;
+  // Hard guard, not an assert: n reaches here from user input (e.g.
+  // shc_sweep --big), and beyond 32 the producer's frontier reservation
+  // alone is 2^n vertices — fail with an explicit report instead of
+  // silently attempting a terabyte allocation in Release.
+  if (n > 32) {
+    cert.report.ok = false;
+    cert.report.error =
+        "n = " + std::to_string(n) +
+        " exceeds the streaming pipeline limit 32 (the producer holds the "
+        "2^n-vertex frontier in memory)";
+    return cert;
+  }
+  if (source >= spec.num_vertices()) {
+    // Same report the serial validator gives; guarded here so Debug
+    // builds don't trip the producer's assert before the sink can say it.
+    cert.report.ok = false;
+    cert.report.error = "source out of range";
+    return cert;
+  }
+  // Arena bound of the round sweeping dimension i: 2^(n-i) calls, each
+  // at most route_length_bound + 1 path vertices, plus the call-offset
+  // and round arrays — exactly what reserve_round() makes the scratch
+  // arena hold.  The whole-schedule figure is what make_broadcast_schedule
+  // would reserve.
+  std::size_t whole_pool = 0;
+  for (Dim i = n; i >= 1; --i) {
+    const std::size_t calls = static_cast<std::size_t>(1)
+                              << static_cast<unsigned>(n - i);
+    const std::size_t pool =
+        calls * static_cast<std::size_t>(route_length_bound(spec, i) + 1);
+    whole_pool += pool;
+    cert.largest_round_arena_bytes =
+        std::max(cert.largest_round_arena_bytes,
+                 FlatSchedule::arena_bytes(1, calls, pool));
+  }
+  cert.whole_schedule_arena_bytes = FlatSchedule::arena_bytes(
+      static_cast<std::size_t>(n),
+      static_cast<std::size_t>(spec.num_vertices()) - 1, whole_pool);
+
+  const SpecView view(spec);
+  StreamingBroadcastValidator<SpecView> sink(view, source, opt, threads);
+  emit_broadcast_rounds(spec, source, sink);
+  cert.report = sink.finish();
+  cert.peak_round_arena_bytes = sink.peak_round_arena_bytes();
+  cert.peak_edge_table_bytes = sink.peak_edge_table_bytes();
+  cert.calls = sink.calls_seen();
+  cert.path_vertices = sink.vertices_seen();
+  return cert;
 }
 
 FlatSchedule make_broadcast2_literal(const SparseHypercubeSpec& spec, Vertex source) {

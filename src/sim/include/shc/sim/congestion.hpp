@@ -26,6 +26,16 @@ struct CongestionStats {
 
   /// histogram[l] = number of edges whose total load is l (index 0 unused).
   std::vector<std::size_t> load_histogram;
+
+  /// Folds in stats computed over an *edge-disjoint* shard of the same
+  /// schedule (each edge owned by exactly one shard): counts add,
+  /// maxima max, histograms add element-wise, and the mean is
+  /// recomputed from the merged totals.  This is what lets
+  /// analyze_congestion_parallel shard edges across workers and still
+  /// reproduce the serial stats exactly (enforced by parity tests).
+  CongestionStats& merge(const CongestionStats& other);
+
+  friend bool operator==(const CongestionStats&, const CongestionStats&) = default;
 };
 
 /// Computes load statistics.  `max_edge_load_per_round` equals 1 for any
@@ -34,6 +44,14 @@ struct CongestionStats {
 /// run this schedule as-is.
 [[nodiscard]] CongestionStats analyze_congestion(const FlatSchedule& schedule);
 [[nodiscard]] CongestionStats analyze_congestion(const BroadcastSchedule& schedule);
+
+/// Sharded analyze_congestion: edges are partitioned across `threads`
+/// std::thread workers by hash, each worker accounts its own edges over
+/// the whole schedule, and the per-shard stats are merge()d.  Identical
+/// result to the serial analysis (including the histogram and the mean,
+/// bit for bit).  threads <= 0 picks hardware_concurrency().
+[[nodiscard]] CongestionStats analyze_congestion_parallel(const FlatSchedule& schedule,
+                                                          int threads = 0);
 
 /// Minimum per-round edge capacity that would make the schedule feasible
 /// (= max_edge_load_per_round).

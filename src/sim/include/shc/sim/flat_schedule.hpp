@@ -21,8 +21,10 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -67,19 +69,38 @@ class FlatSchedule {
   /// Random-access range of the calls of one round.
   class RoundView {
    public:
+    /// Conforming C++20 forward iterator (by-value CallView reference, as
+    /// permitted by the std::forward_iterator concept), so std::distance,
+    /// <algorithm>, and ranges all work over a round.  The C++17-style
+    /// category is input: Cpp17ForwardIterator requires reference to be
+    /// an lvalue reference, which a proxy-returning iterator cannot
+    /// honestly claim — legacy algorithms must not cache &*it.
     class iterator {
      public:
+      using iterator_category = std::input_iterator_tag;
+      using iterator_concept = std::forward_iterator_tag;
+      using value_type = CallView;
+      using difference_type = std::ptrdiff_t;
+      using reference = CallView;
+      using pointer = void;
+
+      iterator() = default;
       iterator(const FlatSchedule* s, std::size_t call) : s_(s), call_(call) {}
       CallView operator*() const { return s_->call(call_); }
       iterator& operator++() {
         ++call_;
         return *this;
       }
+      iterator operator++(int) {
+        iterator old = *this;
+        ++call_;
+        return old;
+      }
       friend bool operator==(const iterator&, const iterator&) = default;
 
      private:
-      const FlatSchedule* s_;
-      std::size_t call_;
+      const FlatSchedule* s_ = nullptr;
+      std::size_t call_ = 0;
     };
 
     RoundView(const FlatSchedule* s, std::size_t first, std::size_t last)
@@ -137,6 +158,18 @@ class FlatSchedule {
     seal_call();
   }
 
+  /// Seals the call under construction *without* the >= 2 vertex
+  /// invariant.  Consumers that buffer untrusted schedules (the streaming
+  /// validator's scratch arena) use this so a degenerate call reaches the
+  /// validator's explicit error path instead of a builder assert.
+  void end_call_unchecked() { seal_call(); }
+
+  /// Closes the round under construction.  A no-op for the whole-arena
+  /// builder — rounds are delimited by begin_round() — but part of the
+  /// RoundSink producer API, where streaming consumers validate and
+  /// recycle the round buffer here.
+  void end_round() { assert(!call_open() && "end_round with an unsealed call"); }
+
   /// Convenience: appends a whole path as one call.
   void add_call(std::initializer_list<Vertex> path) {
     for (Vertex v : path) push_vertex(v);
@@ -174,6 +207,15 @@ class FlatSchedule {
     return {pool_.data() + call_off_[c], call_off_[c + 1] - call_off_[c]};
   }
 
+  /// Total path vertices of calls [first, last) — what a consumer needs
+  /// to size per-round scratch (e.g. the streaming validator's edge
+  /// table) without touching every call.
+  [[nodiscard]] std::size_t path_vertices_between(std::size_t first,
+                                                  std::size_t last) const noexcept {
+    assert(first <= last && last <= num_calls());
+    return call_off_[last] - call_off_[first];
+  }
+
   [[nodiscard]] RoundView round(int t) const noexcept {
     assert(t >= 0 && t < num_rounds());
     const std::size_t i = static_cast<std::size_t>(t);
@@ -188,6 +230,16 @@ class FlatSchedule {
       if (l > len) len = l;
     }
     return len;
+  }
+
+  /// Arena footprint of an exact reservation for the given counts —
+  /// the static counterpart of heap_bytes(), kept adjacent so a-priori
+  /// bounds (streaming certification) stay in lockstep with the real
+  /// storage layout.
+  [[nodiscard]] static constexpr std::size_t arena_bytes(
+      std::size_t rounds, std::size_t calls, std::size_t path_vertices) noexcept {
+    return path_vertices * sizeof(Vertex) + (calls + 1) * sizeof(std::size_t) +
+           rounds * sizeof(std::size_t);
   }
 
   /// Bytes currently owned by the three arenas (diagnostics / benches).

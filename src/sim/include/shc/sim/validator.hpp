@@ -76,6 +76,11 @@ struct ValidationReport {
   /// True iff ok and rounds == ceil(log2 N): the schedule witnesses a
   /// *minimum-time* k-line broadcast (Definition 2).
   bool minimum_time = false;
+
+  /// Bit-for-bit comparability: the parallel and streaming validators
+  /// are required (and tested) to reproduce the serial report exactly,
+  /// including the error string and partial counters on failure.
+  friend bool operator==(const ValidationReport&, const ValidationReport&) = default;
 };
 
 namespace detail {
@@ -144,13 +149,154 @@ class VertexSet {
   }
 
  private:
-  static constexpr std::uint64_t kBitmapLimit = std::uint64_t{1} << 28;
+  // One bit per vertex for exactly the streaming validator's n <= 32
+  // range (2^32 bits = 512 MiB worst case); truly implicit orders
+  // beyond fall back to hashing rather than eagerly zeroing gigabyte
+  // bitmaps for round-scoped sets.
+  static constexpr std::uint64_t kBitmapLimit = std::uint64_t{1} << 32;
 
   bool bitmap_;
   std::uint64_t count_ = 0;
   std::vector<std::uint64_t> bits_;
   std::unordered_set<Vertex> set_;
 };
+
+/// Cross-round validator state, shared by the serial, parallel, and
+/// streaming drivers.  `informed` persists across rounds; the rest is
+/// round-scoped scratch cleared by the round kernel.
+struct BroadcastRunState {
+  VertexSet informed;
+  VertexSet receivers;
+  std::optional<VertexSet> touched;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> edge_use;
+  std::vector<Vertex> round_receivers;
+
+  BroadcastRunState(std::uint64_t order, const ValidationOptions& opt)
+      : informed(order), receivers(order) {
+    if (opt.require_vertex_disjoint) touched.emplace(order);
+  }
+};
+
+/// Reference (serial) kernel for one round: validates calls
+/// [first_call, last_call) of `schedule` as round `round_number`
+/// (1-based, for error messages), updating `state` and the report's
+/// counters exactly as the original monolithic loop did.  Returns false
+/// and sets rep.error on the first violation.  The parallel fast path
+/// re-runs this kernel verbatim whenever it detects *any* anomaly, which
+/// is what makes parallel failure reports bit-for-bit serial.
+template <AdjacencyOracle Net>
+bool validate_round_serial(const Net& net, const FlatSchedule& schedule,
+                           std::size_t first_call, std::size_t last_call,
+                           int round_number, const ValidationOptions& opt,
+                           BroadcastRunState& state, ValidationReport& rep) {
+  const std::uint64_t order = net.num_vertices();
+  auto fail = [&](const std::string& msg) {
+    rep.ok = false;
+    rep.error = msg;
+    return false;
+  };
+  auto vname = [](Vertex v) { return std::to_string(v); };
+  const std::string where = "round " + std::to_string(round_number) + ": ";
+
+  if (opt.require_completion && first_call == last_call) {
+    return fail(where + "empty round");
+  }
+
+  state.edge_use.clear();
+  state.receivers.clear();
+  if (state.touched) state.touched->clear();
+  state.round_receivers.clear();
+
+  for (std::size_t c = first_call; c < last_call; ++c) {
+    const FlatSchedule::CallView call = schedule.call(c);
+    if (call.size() < 2) {
+      return fail(where + "empty or zero-length call (a call needs a caller, " +
+                  "a receiver, and at least one edge)");
+    }
+    rep.max_call_length = std::max(rep.max_call_length, call.length());
+    ++rep.total_calls;
+
+    const Vertex caller = call.caller();
+    const Vertex receiver = call.receiver();
+    if (caller >= order || receiver >= order) {
+      return fail(where + "endpoint out of range");
+    }
+    if (!state.informed.contains(caller)) {
+      return fail(where + "caller " + vname(caller) + " not informed");
+    }
+    if (call.length() > opt.k) {
+      return fail(where + "call " + vname(caller) + "->" + vname(receiver) +
+                  " has length " + std::to_string(call.length()) + " > k=" +
+                  std::to_string(opt.k));
+    }
+    if (opt.forbid_redundant_receivers && state.informed.contains(receiver)) {
+      return fail(where + "receiver " + vname(receiver) + " already informed");
+    }
+    if (!state.receivers.insert(receiver)) {
+      return fail(where + "receiver " + vname(receiver) +
+                  " targeted by two calls");
+    }
+    state.round_receivers.push_back(receiver);
+
+    if (state.touched) {
+      for (const Vertex v : call) {
+        // Range-check before the insert: the bitmap-backed set indexes
+        // by vertex, so an out-of-range interior vertex must be
+        // reported here, not written out of bounds.
+        if (v >= order) {
+          return fail(where + "path vertex out of range");
+        }
+        if (!state.touched->insert(v)) {
+          return fail(where + "vertex " + vname(v) +
+                      " touched by two calls (vertex-disjoint model)");
+        }
+      }
+    }
+
+    // Walk the path: every hop an edge, no edge reused beyond capacity
+    // (the call's own edges also count toward the capacity — a single
+    // call may not traverse one edge twice in the unit-capacity model).
+    for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+      const Vertex x = call[i];
+      const Vertex y = call[i + 1];
+      if (x >= order || y >= order) {
+        return fail(where + "path vertex out of range");
+      }
+      if (x == y || !net.has_edge(x, y)) {
+        return fail(where + "no edge between " + vname(x) + " and " + vname(y));
+      }
+      const int uses = ++state.edge_use[edge_key(x, y)];
+      if (uses > opt.edge_capacity) {
+        return fail(where + "edge {" + vname(x) + "," + vname(y) + "} used " +
+                    std::to_string(uses) + " times (capacity " +
+                    std::to_string(opt.edge_capacity) + ")");
+      }
+    }
+  }
+
+  // Receivers become informed only after the full round resolves; a
+  // vertex informed this round may not also have placed a call (it was
+  // uninformed at round start, enforced by the caller check above).
+  for (Vertex r : state.round_receivers) state.informed.insert(r);
+  return true;
+}
+
+/// Shared tail: completion and minimum-time verdicts.
+inline void finish_broadcast_report(std::uint64_t order,
+                                    const ValidationOptions& opt,
+                                    const BroadcastRunState& state,
+                                    ValidationReport& rep) {
+  rep.informed = state.informed.size();
+  if (opt.require_completion && rep.informed != order) {
+    rep.ok = false;
+    rep.error = "incomplete: informed " + std::to_string(rep.informed) + " of " +
+                std::to_string(order);
+    return;
+  }
+  rep.ok = true;
+  rep.minimum_time =
+      rep.ok && rep.rounds == ceil_log2(order) && rep.informed == order;
+}
 
 }  // namespace detail
 
@@ -167,118 +313,27 @@ template <AdjacencyOracle Net>
   ValidationReport rep;
   const std::uint64_t order = net.num_vertices();
 
-  auto fail = [&](const std::string& msg) {
+  if (schedule.source >= order) {
     rep.ok = false;
-    rep.error = msg;
+    rep.error = "source out of range";
     return rep;
-  };
-  auto vname = [](Vertex v) { return std::to_string(v); };
+  }
 
-  if (schedule.source >= order) return fail("source out of range");
+  detail::BroadcastRunState state(order, opt);
+  state.informed.insert(schedule.source);
 
-  detail::VertexSet informed(order);
-  informed.insert(schedule.source);
-  detail::VertexSet receivers(order);
-  std::optional<detail::VertexSet> touched;
-  if (opt.require_vertex_disjoint) touched.emplace(order);
-  std::unordered_map<detail::EdgeKey, int, detail::EdgeKeyHash> edge_use;
-  std::vector<Vertex> round_receivers;
-
+  std::size_t first = 0;
   for (int t = 0; t < schedule.num_rounds(); ++t) {
-    const FlatSchedule::RoundView round = schedule.round(t);
+    const std::size_t last = first + schedule.round(t).size();
     ++rep.rounds;
-    const std::string where = "round " + std::to_string(t + 1) + ": ";
-
-    if (opt.require_completion && round.empty()) {
-      return fail(where + "empty round");
+    if (!detail::validate_round_serial(net, schedule, first, last, t + 1, opt,
+                                       state, rep)) {
+      return rep;
     }
-
-    edge_use.clear();
-    receivers.clear();
-    if (touched) touched->clear();
-    round_receivers.clear();
-
-    for (const FlatSchedule::CallView call : round) {
-      if (call.size() < 2) {
-        return fail(where + "empty or zero-length call (a call needs a caller, " +
-                    "a receiver, and at least one edge)");
-      }
-      rep.max_call_length = std::max(rep.max_call_length, call.length());
-      ++rep.total_calls;
-
-      const Vertex caller = call.caller();
-      const Vertex receiver = call.receiver();
-      if (caller >= order || receiver >= order) {
-        return fail(where + "endpoint out of range");
-      }
-      if (!informed.contains(caller)) {
-        return fail(where + "caller " + vname(caller) + " not informed");
-      }
-      if (call.length() > opt.k) {
-        return fail(where + "call " + vname(caller) + "->" + vname(receiver) +
-                    " has length " + std::to_string(call.length()) + " > k=" +
-                    std::to_string(opt.k));
-      }
-      if (opt.forbid_redundant_receivers && informed.contains(receiver)) {
-        return fail(where + "receiver " + vname(receiver) + " already informed");
-      }
-      if (!receivers.insert(receiver)) {
-        return fail(where + "receiver " + vname(receiver) +
-                    " targeted by two calls");
-      }
-      round_receivers.push_back(receiver);
-
-      if (touched) {
-        for (const Vertex v : call) {
-          // Range-check before the insert: the bitmap-backed set indexes
-          // by vertex, so an out-of-range interior vertex must be
-          // reported here, not written out of bounds.
-          if (v >= order) {
-            return fail(where + "path vertex out of range");
-          }
-          if (!touched->insert(v)) {
-            return fail(where + "vertex " + vname(v) +
-                        " touched by two calls (vertex-disjoint model)");
-          }
-        }
-      }
-
-      // Walk the path: every hop an edge, no edge reused beyond capacity
-      // (the call's own edges also count toward the capacity — a single
-      // call may not traverse one edge twice in the unit-capacity model).
-      for (std::size_t i = 0; i + 1 < call.size(); ++i) {
-        const Vertex x = call[i];
-        const Vertex y = call[i + 1];
-        if (x >= order || y >= order) {
-          return fail(where + "path vertex out of range");
-        }
-        if (x == y || !net.has_edge(x, y)) {
-          return fail(where + "no edge between " + vname(x) + " and " + vname(y));
-        }
-        const int uses = ++edge_use[detail::edge_key(x, y)];
-        if (uses > opt.edge_capacity) {
-          return fail(where + "edge {" + vname(x) + "," + vname(y) + "} used " +
-                      std::to_string(uses) + " times (capacity " +
-                      std::to_string(opt.edge_capacity) + ")");
-        }
-      }
-    }
-
-    // Receivers become informed only after the full round resolves; a
-    // vertex informed this round may not also have placed a call (it was
-    // uninformed at round start, enforced by the caller check above).
-    for (Vertex r : round_receivers) informed.insert(r);
+    first = last;
   }
 
-  rep.informed = informed.size();
-  if (opt.require_completion && rep.informed != order) {
-    return fail("incomplete: informed " + std::to_string(rep.informed) + " of " +
-                std::to_string(order));
-  }
-
-  rep.ok = true;
-  rep.minimum_time =
-      rep.ok && rep.rounds == ceil_log2(order) && rep.informed == order;
+  detail::finish_broadcast_report(order, opt, state, rep);
   return rep;
 }
 

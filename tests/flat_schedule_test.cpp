@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <vector>
 
 #include "shc/baseline/hypercube_broadcast.hpp"
@@ -52,6 +53,34 @@ TEST(FlatSchedule, CursorBuilderAndViews) {
     callers.push_back(call.caller());
   }
   EXPECT_EQ(callers, (std::vector<Vertex>{0b00, 0b10}));
+}
+
+TEST(FlatSchedule, RoundViewIteratorIsAConformingForwardIterator) {
+  using It = FlatSchedule::RoundView::iterator;
+  static_assert(std::forward_iterator<It>,
+                "RoundView::iterator must model std::forward_iterator");
+  // The C++20 concept dispatches on iterator_concept; the C++17 traits
+  // category honestly stays input (by-value proxy reference).
+  static_assert(std::is_same_v<std::iterator_traits<It>::iterator_category,
+                               std::input_iterator_tag>);
+  static_assert(std::is_same_v<std::iterator_traits<It>::value_type,
+                               FlatSchedule::CallView>);
+
+  const FlatSchedule s = q2_flat();
+  const FlatSchedule::RoundView round = s.round(1);
+
+  // std::distance and <algorithm> now work over a round.
+  EXPECT_EQ(std::distance(round.begin(), round.end()), 2);
+  EXPECT_EQ(std::count_if(round.begin(), round.end(),
+                          [](FlatSchedule::CallView c) { return c.length() == 1; }),
+            2);
+
+  // Post-increment returns the pre-increment position.
+  It it = round.begin();
+  const It old = it++;
+  EXPECT_EQ((*old).caller(), 0b00u);
+  EXPECT_EQ((*it).caller(), 0b10u);
+  EXPECT_EQ(++it, round.end());
 }
 
 TEST(FlatSchedule, IncrementalCallConstruction) {

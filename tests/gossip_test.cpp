@@ -66,6 +66,30 @@ TEST(GossipValidator, RejectsDoubleExchange) {
   EXPECT_NE(rep.error.find("two exchanges"), std::string::npos);
 }
 
+TEST(GossipValidator, RejectsOutOfRangeInteriorPathVertex) {
+  // Regression: only the two endpoints used to be range-checked, so an
+  // out-of-range *interior* vertex reached the adjacency oracle raw.
+  const HypercubeView q2(2);
+  GossipSchedule s;
+  s.begin_round();
+  s.add_call({0b00, 0b101, 0b01});  // interior vertex 5 >= order 4
+  const auto rep = validate_gossip(q2, s, 2);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("path vertex out of range"), std::string::npos)
+      << rep.error;
+}
+
+TEST(GossipValidator, RejectsOversizedNetworkInsteadOfAllocating) {
+  // Regression: the N <= 2^13 guard was a debug-only assert; in Release
+  // an oversized oracle silently allocated the O(N^2)-bit matrix.
+  const HypercubeView q14(14);  // 2^14 vertices, one past the guard
+  const GossipSchedule empty;
+  const auto rep = validate_gossip(q14, empty, 1);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("2^13"), std::string::npos) << rep.error;
+  EXPECT_EQ(rep.rounds, 0);
+}
+
 TEST(GossipValidator, RejectsSharedEdge) {
   const HypercubeView q3(3);
   GossipSchedule s;
