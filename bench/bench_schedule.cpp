@@ -147,6 +147,59 @@ BENCHMARK(BM_StreamingCertify)
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
 
+/// The symbolic engine's acceptance rows: certify Broadcast_k entirely
+/// on the subcube group structure — n = 40/48 past any explicit
+/// representation, and n = 63 at the vertex-representation limit
+/// (2^63 - 1 calls).  Memory is polynomial in n; the gate enforces a
+/// validated minimum-time verdict and the exact 2^n - 1 call count.
+/// Spec policy is symbolic_showcase_spec, shared with shc_sweep
+/// --symbolic so both recorded artifacts measure the same graphs
+/// (designed cuts up to n = 48; construct_base(n, 6) beyond, where the
+/// designed frontiers exceed the collision budget).
+void BM_SymbolicCertify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = symbolic_showcase_spec(n, 2);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  SymbolicCertification cert;
+  for (auto _ : state) {
+    cert = certify_broadcast_symbolic(spec, 0, opt);
+    if (!cert.report.ok || !cert.report.minimum_time) {
+      std::cout << "FAIL: symbolic n=" << n
+                << " did not certify minimum-time: " << cert.report.error
+                << "\n";
+      std::exit(1);
+    }
+    if (cert.report.total_calls != cube_order(n) - 1) {
+      std::cout << "FAIL: symbolic n=" << n << " certified "
+                << cert.report.total_calls << " calls, expected 2^" << n
+                << " - 1\n";
+      std::exit(1);
+    }
+  }
+  // Note: `calls` loses precision as a double counter beyond 2^53; the
+  // exact count is gated above.
+  state.counters["calls"] = static_cast<double>(cert.report.total_calls);
+  state.counters["groups"] = static_cast<double>(cert.checks.groups);
+  state.counters["peak_frontier_subcubes"] =
+      static_cast<double>(cert.checks.peak_frontier_subcubes);
+  state.counters["peak_round_groups"] =
+      static_cast<double>(cert.checks.peak_round_groups);
+  state.counters["collision_candidates"] =
+      static_cast<double>(cert.checks.collision_candidates);
+  state.counters["sampled_calls"] =
+      static_cast<double>(cert.checks.sampled_calls);
+  state.counters["minimum_time"] = cert.report.minimum_time ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cert.checks.groups));
+}
+BENCHMARK(BM_SymbolicCertify)
+    ->Arg(40)
+    ->Arg(48)
+    ->Arg(63)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
 void BM_FlatScheduleConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto spec = design_sparse_hypercube(n, 2);

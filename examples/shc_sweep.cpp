@@ -8,13 +8,15 @@
 // worker pool; output order is deterministic (grid order).
 //
 // Usage:
-//   shc_sweep [--threads T] [--out PATH] [--max-n N] [--big N]
+//   shc_sweep [--threads T] [--out PATH] [--max-n N] [--big N] [--symbolic N]
 //
 //   --threads T   scenario workers (default: hardware concurrency)
 //   --out PATH    write JSON lines to PATH instead of stdout
 //   --max-n N     cap the grid's n (default 16)
 //   --big N       append one streaming-only k=2 scenario at n=N
 //                 (e.g. --big 30; needs RAM for the 2^N frontier)
+//   --symbolic N  append one symbolic-engine k=2 scenario at n=N
+//                 (n <= 63; memory polynomial in n — no 2^N anything)
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -38,6 +40,7 @@ struct Scenario {
   int k = 2;
   bool vertex_disjoint = false;
   bool analyze_congestion_stats = false;  // materialize + edge-load stats
+  bool symbolic = false;                  // subcube engine instead of streaming
   int inner_threads = 1;                  // workers inside the validator
 };
 
@@ -51,7 +54,49 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// One symbolic-engine row: same JSON shape plus the group-compression
+/// stats that are the whole point of the subcube representation.  The
+/// spec policy is shared with the BM_SymbolicCertify bench rows
+/// (symbolic_showcase_spec), so both recorded artifacts measure the
+/// same graphs.
+std::string run_symbolic_scenario(const Scenario& sc) {
+  const auto spec = symbolic_showcase_spec(sc.n, sc.k);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  opt.require_vertex_disjoint = sc.vertex_disjoint;
+
+  const auto start = std::chrono::steady_clock::now();
+  const SymbolicCertification cert = certify_broadcast_symbolic(spec, 0, opt);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::ostringstream os;
+  os << "{\"engine\":\"symbolic\",\"n\":" << sc.n << ",\"k\":" << spec.k()
+     << ",\"cuts\":[";
+  for (std::size_t i = 0; i < spec.cuts().size(); ++i) {
+    os << (i ? "," : "") << spec.cuts()[i];
+  }
+  os << "],\"ok\":" << (cert.report.ok ? "true" : "false")
+     << ",\"minimum_time\":" << (cert.report.minimum_time ? "true" : "false")
+     << ",\"rounds\":" << cert.report.rounds
+     << ",\"calls\":" << cert.report.total_calls
+     << ",\"max_call_length\":" << cert.report.max_call_length
+     << ",\"groups\":" << cert.checks.groups
+     << ",\"peak_frontier_subcubes\":" << cert.checks.peak_frontier_subcubes
+     << ",\"peak_round_groups\":" << cert.checks.peak_round_groups
+     << ",\"collision_candidates\":" << cert.checks.collision_candidates
+     << ",\"sampled_calls\":" << cert.checks.sampled_calls
+     << ",\"seconds\":" << seconds;
+  if (!cert.report.ok) {
+    os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
 std::string run_scenario(const Scenario& sc) {
+  if (sc.symbolic) return run_symbolic_scenario(sc);
   const auto spec = design_sparse_hypercube(sc.n, sc.k);
   ValidationOptions opt;
   opt.k = spec.k();
@@ -118,6 +163,7 @@ int main(int argc, char** argv) {
   int threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   int max_n = 16;
   int big_n = 0;
+  int symbolic_n = 0;
   std::string out_path;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -125,15 +171,23 @@ int main(int argc, char** argv) {
     else if (arg == "--out" && a + 1 < argc) out_path = argv[++a];
     else if (arg == "--max-n" && a + 1 < argc) max_n = parse_int_or_die(argv[++a]);
     else if (arg == "--big" && a + 1 < argc) big_n = parse_int_or_die(argv[++a]);
-    else {
+    else if (arg == "--symbolic" && a + 1 < argc) {
+      symbolic_n = parse_int_or_die(argv[++a]);
+    } else {
       std::cerr << "usage: shc_sweep [--threads T] [--out PATH] [--max-n N] "
-                   "[--big N]\n";
+                   "[--big N] [--symbolic N]\n";
       return 2;
     }
   }
   if (big_n > 32 || max_n > 32) {
     std::cerr << "shc_sweep: n is capped at 32 (the streaming producer holds "
-                 "the 2^n-vertex frontier in memory)\n";
+                 "the 2^n-vertex frontier in memory); use --symbolic for "
+                 "n <= 63\n";
+    return 2;
+  }
+  if (symbolic_n > kMaxCubeDim) {
+    std::cerr << "shc_sweep: --symbolic n is capped at " << kMaxCubeDim
+              << " (the vertex representation limit)\n";
     return 2;
   }
 
@@ -217,6 +271,19 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       emit("{\"n\":" + std::to_string(big_n) + ",\"ok\":false,\"error\":\"" +
            json_escape(e.what()) + "\"}");
+    }
+    ++emitted;
+  }
+  if (symbolic_n > 0) {
+    Scenario sc;
+    sc.n = symbolic_n;
+    sc.k = 2;
+    sc.symbolic = true;
+    try {
+      emit(run_scenario(sc));
+    } catch (const std::exception& e) {
+      emit("{\"engine\":\"symbolic\",\"n\":" + std::to_string(symbolic_n) +
+           ",\"ok\":false,\"error\":\"" + json_escape(e.what()) + "\"}");
     }
     ++emitted;
   }

@@ -1,0 +1,47 @@
+// Overflow-checked 64-bit counter arithmetic.
+//
+// Schedule counters reach the representation limit at n = 63: a full
+// Broadcast_k run places 2^63 - 1 calls and informs 2^63 vertices, and a
+// single multiplication (frontier size x path bound, histogram count x
+// subcube size) silently wraps long before an assert would notice.  All
+// round/total call accounting therefore goes through these helpers: on
+// overflow they return false and leave the accumulator untouched, so the
+// caller can surface an explicit error instead of certifying garbage.
+#pragma once
+
+#include <cstdint>
+
+namespace shc {
+
+/// out = a * b; returns false (out unchanged) on 64-bit overflow.
+[[nodiscard]] inline bool checked_mul_u64(std::uint64_t a, std::uint64_t b,
+                                          std::uint64_t& out) noexcept {
+  std::uint64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) return false;
+  out = r;
+  return true;
+}
+
+/// out = a + b; returns false (out unchanged) on 64-bit overflow.
+[[nodiscard]] inline bool checked_add_u64(std::uint64_t a, std::uint64_t b,
+                                          std::uint64_t& out) noexcept {
+  std::uint64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) return false;
+  out = r;
+  return true;
+}
+
+/// acc += v; returns false (acc unchanged) on overflow.
+[[nodiscard]] inline bool checked_acc_u64(std::uint64_t& acc,
+                                          std::uint64_t v) noexcept {
+  return checked_add_u64(acc, v, acc);
+}
+
+/// out = 2^e; returns false for e >= 64.
+[[nodiscard]] inline bool checked_shift_u64(unsigned e, std::uint64_t& out) noexcept {
+  if (e >= 64) return false;
+  out = std::uint64_t{1} << e;
+  return true;
+}
+
+}  // namespace shc

@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <random>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -47,6 +48,11 @@ struct GossipReport {
   bool complete = false;    ///< every vertex knows every token
   bool minimum_time = false;  ///< complete in exactly ceil(log2 N) rounds
   int max_call_length = 0;
+
+  /// 0 for the exact validator.  For validate_gossip_sampled: how many
+  /// token columns were tracked — `complete` then means "every sampled
+  /// token reached every vertex", a spot check, not a proof.
+  std::uint64_t sampled_tokens = 0;
 };
 
 namespace detail {
@@ -91,6 +97,60 @@ class KnowledgeMatrix {
   std::vector<std::uint64_t> bits_;
 };
 
+/// Per-round structural clauses shared by the exact and sampled gossip
+/// validators: call shape, length <= k, endpoint uniqueness (a vertex
+/// joins at most one exchange), path range checks, edge existence, and
+/// edge-disjointness.  Returns the error message (round prefix
+/// included) or an empty string; updates `max_call_length`.  Keeping
+/// one copy means a hardening fix cannot silently miss one validator.
+template <class Net>
+[[nodiscard]] std::string check_gossip_round_structure(
+    const Net& net, const FlatSchedule::RoundView& round, int k,
+    int round_number, int& max_call_length,
+    std::unordered_set<EdgeKey, EdgeKeyHash>& round_edges,
+    std::unordered_set<Vertex>& round_endpoints) {
+  const std::uint64_t order = net.num_vertices();
+  round_edges.clear();
+  round_endpoints.clear();
+  const std::string where = "round " + std::to_string(round_number) + ": ";
+  for (const FlatSchedule::CallView call : round) {
+    if (call.size() < 2) return where + "empty or zero-length exchange";
+    max_call_length = std::max(max_call_length, call.length());
+    if (call.length() > k) {
+      return where + "exchange longer than k=" + std::to_string(k);
+    }
+    const Vertex a = call.caller();
+    const Vertex b = call.receiver();
+    if (a >= order || b >= order) return where + "endpoint out of range";
+    // Each vertex joins at most one exchange per round.
+    if (!round_endpoints.insert(a).second) {
+      return where + "vertex " + std::to_string(a) + " in two exchanges";
+    }
+    if (!round_endpoints.insert(b).second) {
+      return where + "vertex " + std::to_string(b) + " in two exchanges";
+    }
+    for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+      const Vertex x = call[i];
+      const Vertex y = call[i + 1];
+      // Mirror validate_broadcast: interior path vertices must be
+      // range-checked before they reach the adjacency oracle (a
+      // GraphView would index out of bounds otherwise).
+      if (x >= order || y >= order) {
+        return where + "path vertex out of range";
+      }
+      if (x == y || !net.has_edge(x, y)) {
+        return where + "no edge between " + std::to_string(x) + " and " +
+               std::to_string(y);
+      }
+      if (!round_edges.insert(edge_key(x, y)).second) {
+        return where + "edge {" + std::to_string(x) + "," + std::to_string(y) +
+               "} used twice";
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace detail
 
 /// Checks a gossip schedule against `net` under the k-line constraints:
@@ -116,7 +176,8 @@ template <AdjacencyOracle Net>
   if (order > (std::uint64_t{1} << 13)) {
     return fail("network order " + std::to_string(order) +
                 " exceeds the gossip validator limit 2^13 (exact knowledge "
-                "tracking costs N^2 bits)");
+                "tracking costs N^2 bits); use validate_gossip_sampled for "
+                "a seeded spot check at scale");
   }
 
   detail::KnowledgeMatrix know(order);
@@ -125,45 +186,10 @@ template <AdjacencyOracle Net>
 
   for (int t = 0; t < schedule.num_rounds(); ++t) {
     ++rep.rounds;
-    round_edges.clear();
-    round_endpoints.clear();
-    const std::string where = "round " + std::to_string(t + 1) + ": ";
     const FlatSchedule::RoundView round = schedule.round(t);
-    for (const FlatSchedule::CallView call : round) {
-      if (call.size() < 2) return fail(where + "empty or zero-length exchange");
-      rep.max_call_length = std::max(rep.max_call_length, call.length());
-      if (call.length() > k) {
-        return fail(where + "exchange longer than k=" + std::to_string(k));
-      }
-      const Vertex a = call.caller();
-      const Vertex b = call.receiver();
-      if (a >= order || b >= order) return fail(where + "endpoint out of range");
-      // Each vertex joins at most one exchange per round.
-      if (!round_endpoints.insert(a).second) {
-        return fail(where + "vertex " + std::to_string(a) + " in two exchanges");
-      }
-      if (!round_endpoints.insert(b).second) {
-        return fail(where + "vertex " + std::to_string(b) + " in two exchanges");
-      }
-      for (std::size_t i = 0; i + 1 < call.size(); ++i) {
-        const Vertex x = call[i];
-        const Vertex y = call[i + 1];
-        // Mirror validate_broadcast: interior path vertices must be
-        // range-checked before they reach the adjacency oracle (a
-        // GraphView would index out of bounds otherwise).
-        if (x >= order || y >= order) {
-          return fail(where + "path vertex out of range");
-        }
-        if (x == y || !net.has_edge(x, y)) {
-          return fail(where + "no edge between " + std::to_string(x) + " and " +
-                      std::to_string(y));
-        }
-        if (!round_edges.insert(detail::edge_key(x, y)).second) {
-          return fail(where + "edge {" + std::to_string(x) + "," + std::to_string(y) +
-                      "} used twice");
-        }
-      }
-    }
+    std::string err = detail::check_gossip_round_structure(
+        net, round, k, t + 1, rep.max_call_length, round_edges, round_endpoints);
+    if (!err.empty()) return fail(std::move(err));
     // Exchanges resolve simultaneously; endpoint-uniqueness makes the
     // application order irrelevant.
     for (const FlatSchedule::CallView call : round) {
@@ -178,6 +204,93 @@ template <AdjacencyOracle Net>
   return rep;
 }
 
+/// Sampled-knowledge gossip validation — the documented escape hatch
+/// past the exact validator's N <= 2^13 wall.  Token reach sets evolve
+/// independently (token t's holders after an exchange (a, b) depend
+/// only on t's holders before), so the validator tracks `samples`
+/// seeded random token columns exactly — N bits each instead of N^2 —
+/// and re-runs the full structural per-round checks (path validity,
+/// edge-disjointness, endpoint-uniqueness) over every call.  A report
+/// with ok == true certifies the structure completely but completion
+/// only for the sampled tokens (rep.sampled_tokens records how many);
+/// the full streamed gossip checker remains a ROADMAP item.
+/// Pre: N <= 2^32; memory is samples * N / 8 bytes of reach bitmaps.
+template <AdjacencyOracle Net>
+[[nodiscard]] GossipReport validate_gossip_sampled(const Net& net,
+                                                   const GossipSchedule& schedule,
+                                                   int k, std::uint64_t samples,
+                                                   std::uint64_t seed = 0x5eedULL) {
+  GossipReport rep;
+  const std::uint64_t order = net.num_vertices();
+  auto fail = [&](std::string msg) {
+    rep.ok = false;
+    rep.error = std::move(msg);
+    return rep;
+  };
+  if (order > (std::uint64_t{1} << 32)) {
+    return fail("network order " + std::to_string(order) +
+                " exceeds the sampled gossip validator limit 2^32");
+  }
+  if (samples == 0) return fail("sampled gossip validation needs samples >= 1");
+  samples = std::min(samples, order);
+  rep.sampled_tokens = samples;
+
+  // Seeded distinct token sample (exhaustive when samples == order).
+  std::vector<Vertex> tokens;
+  std::unordered_set<Vertex> seen;
+  std::mt19937_64 rng(seed);
+  if (samples == order) {
+    tokens.reserve(static_cast<std::size_t>(order));
+    for (Vertex t = 0; t < order; ++t) tokens.push_back(t);
+  } else {
+    while (tokens.size() < samples) {
+      const Vertex t = rng() % order;
+      if (seen.insert(t).second) tokens.push_back(t);
+    }
+  }
+  std::vector<detail::VertexSet> reach;
+  reach.reserve(tokens.size());
+  for (const Vertex t : tokens) {
+    reach.emplace_back(order);
+    reach.back().insert(t);
+  }
+
+  std::unordered_set<detail::EdgeKey, detail::EdgeKeyHash> round_edges;
+  std::unordered_set<Vertex> round_endpoints;
+  for (int t = 0; t < schedule.num_rounds(); ++t) {
+    ++rep.rounds;
+    const FlatSchedule::RoundView round = schedule.round(t);
+    std::string err = detail::check_gossip_round_structure(
+        net, round, k, t + 1, rep.max_call_length, round_edges, round_endpoints);
+    if (!err.empty()) return fail(std::move(err));
+    for (const FlatSchedule::CallView call : round) {
+      const Vertex a = call.caller();
+      const Vertex b = call.receiver();
+      for (detail::VertexSet& r : reach) {
+        if (r.contains(a) || r.contains(b)) {
+          r.insert(a);
+          r.insert(b);
+        }
+      }
+    }
+  }
+
+  rep.complete = true;
+  for (const detail::VertexSet& r : reach) {
+    if (r.size() != order) {
+      rep.complete = false;
+      break;
+    }
+  }
+  if (!rep.complete) {
+    return fail("gossip incomplete after all rounds (sampled token not "
+                "everywhere)");
+  }
+  rep.ok = true;
+  rep.minimum_time = rep.rounds == ceil_log2(order);
+  return rep;
+}
+
 /// Dimension-exchange gossip on the full Q_n: round t pairs every vertex
 /// with its neighbor across dimension n-t+1.  n rounds, k = 1, optimal.
 /// Pre: 1 <= n <= 13.
@@ -186,7 +299,9 @@ template <AdjacencyOracle Net>
 /// Gather-then-broadcast gossip on a sparse hypercube: the Broadcast_k
 /// schedule from `root` is replayed backwards (leaf calls first) to
 /// accumulate every token at `root`, then forwards to disseminate.
-/// 2n rounds, calls of length <= spec.k().  Pre: spec.n() <= 13.
+/// 2n rounds, calls of length <= spec.k().  Pre: spec.n() <= 20 (the
+/// exact validator stops at 2^13 vertices; beyond that, spot-check with
+/// validate_gossip_sampled).
 [[nodiscard]] GossipSchedule sparse_gather_broadcast_gossip(
     const SparseHypercubeSpec& spec, Vertex root);
 

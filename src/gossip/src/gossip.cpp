@@ -22,7 +22,7 @@ GossipSchedule hypercube_exchange_gossip(int n) {
 
 GossipSchedule sparse_gather_broadcast_gossip(const SparseHypercubeSpec& spec,
                                               Vertex root) {
-  assert(spec.n() <= 13);
+  assert(spec.n() <= 20 && "2 x 2^n flat calls are materialized");
   const FlatSchedule forward = make_broadcast_schedule(spec, root);
 
   GossipSchedule schedule;

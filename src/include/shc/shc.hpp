@@ -5,6 +5,8 @@
 //   design_sparse_hypercube(n, k)              — best cuts for general k
 //   make_broadcast_schedule(spec, source)      — Broadcast_k scheme
 //   validate_minimum_time_k_line(view, s, k)   — mechanical model check
+//   certify_broadcast_streaming(spec, 0, opt)  — n <= 32, one round in RAM
+//   certify_broadcast_symbolic(spec, 0, opt)   — n <= 63, subcube groups
 #pragma once
 
 #include "shc/bits/bitstring.hpp"
@@ -23,13 +25,18 @@
 #include "shc/mlbg/broadcast.hpp"
 #include "shc/mlbg/params.hpp"
 #include "shc/mlbg/spec.hpp"
+#include "shc/mlbg/symbolic_broadcast.hpp"
 #include "shc/sim/congestion.hpp"
 #include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/network.hpp"
 #include "shc/sim/round_sink.hpp"
 #include "shc/sim/schedule.hpp"
 #include "shc/sim/streaming_validator.hpp"
+#include "shc/sim/subcube.hpp"
+#include "shc/sim/symbolic_schedule.hpp"
+#include "shc/sim/symbolic_validator.hpp"
 #include "shc/sim/validator.hpp"
+#include "shc/sim/worker_pool.hpp"
 #include "shc/baseline/hypercube_broadcast.hpp"
 #include "shc/baseline/path_star.hpp"
 #include "shc/baseline/tree_broadcast.hpp"

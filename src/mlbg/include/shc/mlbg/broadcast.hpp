@@ -19,6 +19,7 @@
 #include <cassert>
 #include <vector>
 
+#include "shc/bits/checked.hpp"
 #include "shc/mlbg/spec.hpp"
 #include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/round_sink.hpp"
@@ -105,9 +106,17 @@ void emit_broadcast_rounds(const SparseHypercubeSpec& spec, Vertex source,
     if constexpr (requires(Sink& s) {
                     s.reserve_round(std::size_t{}, std::size_t{});
                   }) {
-      sink.reserve_round(
-          frontier,
-          frontier * static_cast<std::size_t>(route_length_bound(spec, i) + 1));
+      // Overflow-audited: the frontier is bounded by 2^31 here (n <= 32),
+      // but the reservation arithmetic must stay provably un-wrapped all
+      // the way to the representation limit.
+      std::uint64_t path_vertices = 0;
+      const bool fits = checked_mul_u64(
+          frontier, static_cast<std::uint64_t>(route_length_bound(spec, i) + 1),
+          path_vertices);
+      assert(fits);
+      if (fits) {
+        sink.reserve_round(frontier, static_cast<std::size_t>(path_vertices));
+      }
     }
     sink.begin_round();
     for (std::size_t w = 0; w < frontier; ++w) {

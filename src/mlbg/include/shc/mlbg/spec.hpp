@@ -85,6 +85,13 @@ class SparseHypercubeSpec {
   /// True iff the i-dimensional edge {u, flip(u, i)} is present.
   [[nodiscard]] bool has_edge_dim(Vertex u, Dim i) const noexcept;
 
+  /// Bit mask of the coordinates the dim-i edge predicate reads: empty
+  /// for core dimensions (Rule 1, always present), the governing
+  /// level's window for cross dimensions.  The symbolic engine's
+  /// support discipline rests on this: a subcube whose free dims avoid
+  /// the mask has one uniform has_edge_dim verdict for dimension i.
+  [[nodiscard]] Vertex dim_support_mask(Dim i) const noexcept;
+
   /// True iff {u, v} is an edge (cube-adjacent and surviving deletion).
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
 
@@ -124,7 +131,9 @@ class SparseHypercubeSpec {
 /// the non-virtual counterpart of SparseHypercubeView.  Satisfies the
 /// simulator's AdjacencyOracle concept, so templated validator and
 /// congestion kernels probe edges through direct inlinable calls and
-/// large-n schedules validate without materializing the graph.
+/// large-n schedules validate without materializing the graph.  It also
+/// satisfies the symbolic engine's SymbolicOracle concept: dimension-
+/// indexed adjacency plus per-dimension support masks.
 class SpecView {
  public:
   /// Keeps a reference; the spec must outlive the view.
@@ -135,6 +144,13 @@ class SpecView {
   }
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept {
     return spec_->has_edge(u, v);
+  }
+  [[nodiscard]] int cube_dim() const noexcept { return spec_->n(); }
+  [[nodiscard]] bool has_edge_dim(Vertex u, Dim i) const noexcept {
+    return spec_->has_edge_dim(u, i);
+  }
+  [[nodiscard]] Vertex dim_support_mask(Dim i) const noexcept {
+    return spec_->dim_support_mask(i);
   }
   [[nodiscard]] const SparseHypercubeSpec& spec() const noexcept { return *spec_; }
 

@@ -1,0 +1,182 @@
+// Symbolic Broadcast_k production — the paper's construction emitted as
+// subcube-batched call groups instead of concrete calls.
+//
+// The dimension sweep's informed set is represented as a SubcubeFrontier
+// (disjoint (prefix, free-mask) subcubes with multiplicity).  In the
+// round sweeping dimension i (governed by level t), route_flip(u, i)
+// reads only the bits of u in (0, c_t], so a frontier subcube whose free
+// dims avoid that window yields ONE route pattern for all its vertices:
+// the producer splits each subcube on its free low bits (empirically:
+// almost never needed), computes the representative's route as
+// cumulative XOR masks, and emits a CallGroup per piece.  Receivers are
+// the translated subcubes, re-inserted with sibling coalescing — the
+// frontier stays polynomial in n (roughly the product over label classes
+// of |S_j| + 1) while representing up to 2^63 - 1 informed vertices.
+//
+// Memory and time are proportional to the number of groups, never to
+// 2^n: this is what closes the ROADMAP's n <= 63 gap left by the
+// streaming pipeline's explicit 2^n-vertex frontier.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "shc/bits/checked.hpp"
+#include "shc/mlbg/broadcast.hpp"
+#include "shc/mlbg/spec.hpp"
+#include "shc/sim/subcube.hpp"
+#include "shc/sim/symbolic_schedule.hpp"
+#include "shc/sim/symbolic_validator.hpp"
+
+namespace shc {
+
+/// Producer-side statistics of one symbolic emission.
+struct SymbolicProducerStats {
+  std::uint64_t groups_emitted = 0;
+  std::uint64_t peak_frontier_subcubes = 0;
+  std::uint64_t final_frontier_subcubes = 0;
+  std::uint64_t split_groups = 0;  ///< groups born from low-free-bit splits
+};
+
+namespace detail {
+
+/// Minimal RoundSink that records a route_flip_append path as cumulative
+/// XOR masks relative to the caller — the symbolic pattern format.
+struct XorPathSink {
+  Vertex base = 0;
+  std::array<Vertex, 64> xs{};
+  std::size_t len = 0;
+
+  void begin_round() {}
+  void end_round() {}
+  void end_call() {}
+  void push_vertex(Vertex v) {
+    if (len >= xs.size()) throw std::runtime_error("route pattern too long");
+    xs[len++] = v ^ base;
+  }
+  [[nodiscard]] Vertex last_vertex() const { return xs[len - 1] ^ base; }
+  [[nodiscard]] std::span<const Vertex> span() const { return {xs.data(), len}; }
+};
+
+}  // namespace detail
+
+/// Emits the unified Broadcast_k dimension sweep from `source` as
+/// symbolic rounds of call groups into any SymbolicRoundSink.  Honors
+/// the sink's optional aborted() hook.  Throws std::invalid_argument
+/// for an out-of-range source, and std::runtime_error when the frontier
+/// exceeds `max_frontier_subcubes` or a subcube would split into more
+/// than 2^24 pieces (pathological custom constructions; the paper's
+/// specs stay far below both).
+template <SymbolicRoundSink Sink>
+SymbolicProducerStats emit_broadcast_rounds_symbolic(
+    const SparseHypercubeSpec& spec, Vertex source, Sink& sink,
+    std::uint64_t max_frontier_subcubes = std::uint64_t{1} << 26) {
+  const int n = spec.n();
+  if (source >= spec.num_vertices()) {
+    throw std::invalid_argument("source out of range");
+  }
+  SymbolicProducerStats stats;
+  SubcubeFrontier frontier(n);
+  frontier.insert(source, 0);
+  stats.peak_frontier_subcubes = 1;
+
+  for (Dim i = n; i >= 1; --i) {
+    if constexpr (requires(const Sink& s) {
+                    { s.aborted() } -> std::convertible_to<bool>;
+                  }) {
+      if (sink.aborted()) break;
+    }
+    const int t = spec.level_of_dim(i);
+    const Vertex low = t < 0 ? 0 : mask_low(spec.cuts()[static_cast<std::size_t>(t)]);
+
+    sink.begin_round();
+    // Snapshot: receivers are inserted into `frontier` while iterating.
+    const auto entries = frontier.to_entries();
+    for (const WeightedSubcube& e : entries) {
+      if (e.mult != 1) {
+        throw std::runtime_error("producer frontier lost disjointness");
+      }
+      const Vertex split = e.mask & low;
+      const Vertex rest = e.mask & ~split;
+      if (weight(split) > 24) {
+        throw std::runtime_error("subcube split blow-up (2^" +
+                                 std::to_string(weight(split)) + " pieces)");
+      }
+      // Enumerate the pinned assignments of the route-relevant free bits.
+      Vertex a = 0;
+      for (;;) {
+        const Vertex u = e.prefix | a;
+        detail::XorPathSink path;
+        path.base = u;
+        route_flip_append(spec, u, i, path);
+
+        CallGroup g;
+        g.prefix = u;
+        g.free_mask = rest;
+        std::uint64_t count = 0;
+        if (!checked_shift_u64(static_cast<unsigned>(weight(rest)), count)) {
+          throw std::runtime_error("group count overflow");
+        }
+        g.count = count;
+        sink.end_call_group(g, path.span());
+        ++stats.groups_emitted;
+        if (split != 0 && a != 0) ++stats.split_groups;
+
+        frontier.insert(u ^ path.span().back(), rest);
+
+        if (a == split) break;
+        a = (a - split) & split;
+      }
+    }
+    sink.end_round();
+
+    stats.peak_frontier_subcubes =
+        std::max(stats.peak_frontier_subcubes, frontier.num_subcubes());
+    if (frontier.num_subcubes() > max_frontier_subcubes) {
+      throw std::runtime_error(
+          "symbolic frontier exceeded the subcube cap (" +
+          std::to_string(frontier.num_subcubes()) + " subcubes)");
+    }
+  }
+  stats.final_frontier_subcubes = frontier.num_subcubes();
+  return stats;
+}
+
+/// Materializes the whole symbolic schedule (pattern tables
+/// deduplicated per round).  Memory is proportional to the group count;
+/// admits n <= 63.
+[[nodiscard]] SymbolicSchedule make_symbolic_broadcast_schedule(
+    const SparseHypercubeSpec& spec, Vertex source);
+
+/// Outcome of a symbolic production + validation run.
+struct SymbolicCertification {
+  ValidationReport report;      ///< same shape as the other validators'
+  SymbolicRunStats checks;      ///< validator-side group/expansion stats
+  SymbolicProducerStats producer;
+};
+
+/// The spec the recorded symbolic showcases (bench rows, sweep rows)
+/// certify at dimension n — one definition so BENCH_schedule.json and
+/// BENCH_sweep.jsonl always measure the same graphs.  Certification
+/// cost scales with the subcube frontier (roughly the product over
+/// label classes of |S_j| + 1): up to n = 48 the canonical designed
+/// cuts are used; beyond, the designed specs' multi-million-subcube
+/// frontiers exceed the default collision budget, so the showcase pins
+/// construct_base(n, 6) (lambda = 4) — the degree/certifiability
+/// trade-off documented in the README.
+[[nodiscard]] SparseHypercubeSpec symbolic_showcase_spec(int n, int k);
+
+/// Runs Broadcast_k from `source` through the fully symbolic pipeline:
+/// emit_broadcast_rounds_symbolic producing into a
+/// SymbolicBroadcastValidator over the implicit SpecView oracle.  No
+/// concrete call ever exists outside the seeded sample replays; time and
+/// memory are polynomial in n for the paper's constructions.  Admits
+/// n <= 63.
+[[nodiscard]] SymbolicCertification certify_broadcast_symbolic(
+    const SparseHypercubeSpec& spec, Vertex source, const ValidationOptions& opt,
+    const SymbolicCheckOptions& sopt = {});
+
+}  // namespace shc

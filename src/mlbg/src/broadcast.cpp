@@ -44,11 +44,18 @@ namespace {
 
 /// Exact upper bound on the flat path pool: the round sweeping dimension
 /// i has 2^(n-i) calls of at most route_length_bound(i) + 1 vertices.
-std::size_t pool_upper_bound(const SparseHypercubeSpec& spec) {
-  std::size_t bound = 0;
+/// Overflow-audited (the callers' n <= 28/32 guards keep it far from the
+/// 64-bit edge, but the arithmetic itself must not be the limiter).
+std::uint64_t pool_upper_bound(const SparseHypercubeSpec& spec) {
+  std::uint64_t bound = 0;
   for (Dim i = spec.n(); i >= 1; --i) {
-    bound += static_cast<std::size_t>(route_length_bound(spec, i) + 1) *
-             cube_order(spec.n() - i);
+    std::uint64_t term = 0;
+    const bool fits =
+        checked_mul_u64(static_cast<std::uint64_t>(route_length_bound(spec, i) + 1),
+                        cube_order(spec.n() - i), term) &&
+        checked_acc_u64(bound, term);
+    assert(fits);
+    (void)fits;
   }
   return bound;
 }
@@ -101,13 +108,18 @@ StreamingCertification certify_broadcast_streaming(const SparseHypercubeSpec& sp
   // and round arrays — exactly what reserve_round() makes the scratch
   // arena hold.  The whole-schedule figure is what make_broadcast_schedule
   // would reserve.
-  std::size_t whole_pool = 0;
+  std::uint64_t whole_pool = 0;
   for (Dim i = n; i >= 1; --i) {
     const std::size_t calls = static_cast<std::size_t>(1)
                               << static_cast<unsigned>(n - i);
-    const std::size_t pool =
-        calls * static_cast<std::size_t>(route_length_bound(spec, i) + 1);
-    whole_pool += pool;
+    std::uint64_t pool = 0;
+    const bool fits = checked_mul_u64(
+                          calls, static_cast<std::uint64_t>(
+                                     route_length_bound(spec, i) + 1),
+                          pool) &&
+                      checked_acc_u64(whole_pool, pool);
+    assert(fits);
+    (void)fits;
     cert.largest_round_arena_bytes =
         std::max(cert.largest_round_arena_bytes,
                  FlatSchedule::arena_bytes(1, calls, pool));

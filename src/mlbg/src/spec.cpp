@@ -116,6 +116,13 @@ bool SparseHypercubeSpec::has_edge_dim(Vertex u, Dim i) const noexcept {
   return lv.dim_owner[static_cast<std::size_t>(i - lv.dim_lo - 1)] == label_at(u, t);
 }
 
+Vertex SparseHypercubeSpec::dim_support_mask(Dim i) const noexcept {
+  const int t = level_of_dim(i);
+  if (t < 0) return 0;  // core edges exist unconditionally
+  const ConstructionLevel& lv = levels_[static_cast<std::size_t>(t)];
+  return mask_window(lv.win_lo, lv.win_hi);
+}
+
 bool SparseHypercubeSpec::has_edge(Vertex u, Vertex v) const noexcept {
   if (u >= num_vertices() || v >= num_vertices() || !cube_adjacent(u, v)) return false;
   return has_edge_dim(u, differing_dim(u, v));

@@ -33,6 +33,8 @@
 
 namespace shc {
 
+struct SymbolicSchedule;
+
 /// Contiguous schedule of rounds of calls; see file comment.
 class FlatSchedule {
  public:
@@ -263,6 +265,15 @@ class FlatSchedule {
 
   /// Materializes the legacy pointer-per-call form (tests, cross-checks).
   [[nodiscard]] BroadcastSchedule to_legacy() const;
+
+  /// Expands a symbolic (subcube-batched) schedule into concrete calls:
+  /// each group becomes its 2^popcount(free_mask) translated calls, in
+  /// ascending free-assignment order.  The bridge that makes the
+  /// symbolic and materialized pipelines parity-testable on their
+  /// overlapping range.  Throws std::invalid_argument when the expanded
+  /// size is unreasonable to materialize (call count above 2^28) or a
+  /// group is malformed (prefix/mask overlap, count mismatch).
+  [[nodiscard]] static FlatSchedule from_symbolic(const SymbolicSchedule& symbolic);
 
  private:
   [[nodiscard]] bool call_open() const noexcept {

@@ -39,6 +39,7 @@
 #include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/round_sink.hpp"
 #include "shc/sim/validator.hpp"
+#include "shc/sim/worker_pool.hpp"
 
 namespace shc {
 
@@ -124,7 +125,7 @@ bool try_validate_round_clean(const Net& net, const FlatSchedule& schedule,
                               std::size_t first_call, std::size_t last_call,
                               const ValidationOptions& opt,
                               BroadcastRunState& state, ValidationReport& rep,
-                              int threads, RoundEdgeTable& edges) {
+                              WorkerPool& pool, RoundEdgeTable& edges) {
   const std::uint64_t order = net.num_vertices();
   if (order > (std::uint64_t{1} << 32)) return false;  // packed keys need 32-bit ids
   const std::size_t count = last_call - first_call;
@@ -132,7 +133,7 @@ bool try_validate_round_clean(const Net& net, const FlatSchedule& schedule,
 
   // ---- phase A: sharded read-only checks ------------------------------
   const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(std::max(threads, 1)), count));
+      static_cast<std::size_t>(std::max(pool.workers(), 1)), count));
   std::atomic<bool> flagged{false};
   std::vector<int> local_max(static_cast<std::size_t>(workers), 0);
 
@@ -172,16 +173,15 @@ bool try_validate_round_clean(const Net& net, const FlatSchedule& schedule,
   if (workers == 1) {
     scan_range(first_call, last_call, 0);
   } else {
+    // Same chunking as the historical spawn-per-round code (parity),
+    // but executed on the persistent pool.
     const std::size_t chunk = (count + static_cast<std::size_t>(workers) - 1) /
                               static_cast<std::size_t>(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
+    pool.run(workers, [&](int w) {
       const std::size_t lo = first_call + static_cast<std::size_t>(w) * chunk;
       const std::size_t hi = std::min(lo + chunk, last_call);
-      pool.emplace_back(scan_range, lo, hi, w);
-    }
-    for (std::thread& th : pool) th.join();
+      scan_range(lo, hi, w);
+    });
   }
   if (flagged.load()) return false;
 
@@ -260,13 +260,14 @@ template <AdjacencyOracle Net>
   detail::BroadcastRunState state(order, opt);
   state.informed.insert(schedule.source);
   detail::RoundEdgeTable edges;
+  WorkerPool pool(threads);  // persistent across all rounds of this run
 
   std::size_t first = 0;
   for (int t = 0; t < schedule.num_rounds(); ++t) {
     const std::size_t last = first + schedule.round(t).size();
     ++rep.rounds;
     if (!detail::try_validate_round_clean(net, schedule, first, last, opt, state,
-                                          rep, threads, edges) &&
+                                          rep, pool, edges) &&
         !detail::validate_round_serial(net, schedule, first, last, t + 1, opt,
                                        state, rep)) {
       return rep;
@@ -387,7 +388,7 @@ class StreamingBroadcastValidator {
     ++rep_.rounds;
     const std::size_t calls = scratch_.num_calls();
     if (!detail::try_validate_round_clean(*net_, scratch_, 0, calls, opt_,
-                                          state_, rep_, threads_, edges_) &&
+                                          state_, rep_, pool_, edges_) &&
         !detail::validate_round_serial(*net_, scratch_, 0, calls, rep_.rounds,
                                        opt_, state_, rep_)) {
       failed_ = true;
@@ -397,6 +398,7 @@ class StreamingBroadcastValidator {
   const Net* net_;
   ValidationOptions opt_;
   int threads_;
+  WorkerPool pool_{threads_};  ///< persistent workers, reused every round
   std::uint64_t order_;
   detail::BroadcastRunState state_;
   detail::RoundEdgeTable edges_;

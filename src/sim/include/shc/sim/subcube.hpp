@@ -1,0 +1,449 @@
+// Subcube algebra — the representation layer of the symbolic schedule
+// engine.
+//
+// A subcube of Q_n is written (prefix, mask): `mask` marks the free
+// dimensions, `prefix` pins the rest (prefix & mask == 0), and the
+// subcube is { prefix | a : a subset of mask } — 2^popcount(mask)
+// vertices.  The symbolic pipeline represents informed sets, call
+// groups, and edge families as collections of subcubes, so certifying a
+// Broadcast_k schedule costs time/memory polynomial in the collection
+// size instead of 2^n.
+//
+// Three tools live here:
+//
+//   * Subcube / overlap / intersection / containment — O(1) word ops;
+//   * SubcubeFrontier — a *multiset* of subcubes keyed (mask, prefix)
+//     with per-entry multiplicity.  insert() coalesces sibling subcubes
+//     (equal mask, prefixes differing in one non-free bit, equal
+//     multiplicity) into one subcube of one higher dimension, which is
+//     what keeps the informed set of a 2^63-vertex broadcast at a few
+//     million entries.  Multiplicity makes the structure faithful to
+//     the *multiset* of inserted vertices: a vertex covered twice can
+//     coalesce into hidden corners but can never disappear, so the
+//     endgame check (canonical_reduce() == one full cube, multiplicity
+//     one) proves every vertex was informed exactly once;
+//   * canonical_reduce / find_overlapping_pairs — recursive
+//     divide-on-pinned-dimension sweeps.  canonical_reduce computes the
+//     order-independent normal form of a subcube multiset (greedy
+//     sibling coalescing can wedge in a local optimum; the recursion
+//     cannot).  find_overlapping_pairs reports which members of a
+//     family intersect — the symbolic validator's collision-candidate
+//     detector.  Both take an explicit node budget and fail (rather
+//     than stall) on adversarially fragmented inputs.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "shc/bits/checked.hpp"
+#include "shc/bits/vertex.hpp"
+
+namespace shc {
+
+/// A subcube of Q_n: free dims in `mask`, pinned values in `prefix`.
+/// Invariant: (prefix & mask) == 0.
+struct Subcube {
+  Vertex prefix = 0;
+  Vertex mask = 0;
+
+  [[nodiscard]] int dim() const noexcept { return weight(mask); }
+  /// Number of vertices.  Pre: dim() <= 63.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << static_cast<unsigned>(dim());
+  }
+  [[nodiscard]] bool contains_vertex(Vertex v) const noexcept {
+    return (v & ~mask) == prefix;
+  }
+  friend bool operator==(const Subcube&, const Subcube&) = default;
+};
+
+/// True iff the subcubes share a vertex: they agree on every dimension
+/// pinned by both.
+[[nodiscard]] inline bool subcubes_overlap(const Subcube& a, const Subcube& b) noexcept {
+  const Vertex both_pinned = ~(a.mask | b.mask);
+  return ((a.prefix ^ b.prefix) & both_pinned) == 0;
+}
+
+/// True iff every vertex of `inner` lies in `outer`.
+[[nodiscard]] inline bool subcube_contains(const Subcube& outer,
+                                           const Subcube& inner) noexcept {
+  return (inner.mask & ~outer.mask) == 0 &&
+         ((inner.prefix ^ outer.prefix) & ~outer.mask) == 0;
+}
+
+/// Intersection, or nullopt when disjoint.
+[[nodiscard]] inline std::optional<Subcube> subcube_intersection(
+    const Subcube& a, const Subcube& b) noexcept {
+  if (!subcubes_overlap(a, b)) return std::nullopt;
+  const Vertex mask = a.mask & b.mask;
+  return Subcube{(a.prefix | b.prefix) & ~mask, mask};
+}
+
+/// Splits `outer` minus `inner` into disjoint subcubes (one per free
+/// dimension of outer that inner pins).  Pre: subcube_contains(outer,
+/// inner).  The symbolic congestion overlay's refinement step.
+[[nodiscard]] inline std::vector<Subcube> subcube_subtract(const Subcube& outer,
+                                                           const Subcube& inner) {
+  assert(subcube_contains(outer, inner));
+  std::vector<Subcube> pieces;
+  Subcube cur = outer;
+  Vertex split = outer.mask & ~inner.mask;
+  while (split) {
+    const Vertex b = split & (~split + 1);
+    split &= ~b;
+    // The half that disagrees with inner on b is entirely outside.
+    pieces.push_back(Subcube{(cur.prefix & ~b) | (~inner.prefix & b), cur.mask & ~b});
+    cur.prefix = (cur.prefix & ~b) | (inner.prefix & b);
+    cur.mask &= ~b;
+  }
+  return pieces;
+}
+
+/// A subcube with a coverage multiplicity (how many times the multiset
+/// covers each of its vertices).
+struct WeightedSubcube {
+  Vertex prefix = 0;
+  Vertex mask = 0;
+  std::uint64_t mult = 1;
+  friend bool operator==(const WeightedSubcube&, const WeightedSubcube&) = default;
+};
+
+namespace detail {
+
+/// splitmix finalizer — the frontier tables hash prefixes with it.
+inline std::uint64_t mix_u64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Open-addressing prefix -> value table for one mask class.  Prefixes
+/// are < 2^63 (n <= kMaxCubeDim), so the two top-bit-set sentinels can
+/// never collide with a key.
+class PrefixTable {
+ public:
+  static constexpr Vertex kEmpty = ~Vertex{0};
+  static constexpr Vertex kTomb = ~Vertex{0} - 1;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pointer to the value for `p`, or nullptr.
+  [[nodiscard]] std::uint64_t* find(Vertex p) noexcept {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = mix_u64(p) & mask_;
+    for (;;) {
+      auto& s = slots_[i];
+      if (s.first == p) return &s.second;
+      if (s.first == kEmpty) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  [[nodiscard]] const std::uint64_t* find(Vertex p) const noexcept {
+    return const_cast<PrefixTable*>(this)->find(p);
+  }
+
+  /// First entry satisfying fn(prefix, value), or false.
+  template <class Fn>
+  [[nodiscard]] bool any_of(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.first < kTomb && fn(s.first, s.second)) return true;
+    }
+    return false;
+  }
+
+  /// Inserts p -> v, or adds v to the existing value.
+  void add(Vertex p, std::uint64_t v) {
+    assert(p < kTomb);
+    reserve_one();
+    std::size_t i = mix_u64(p) & mask_;
+    std::size_t tomb = SIZE_MAX;
+    for (;;) {
+      auto& s = slots_[i];
+      if (s.first == p) {
+        s.second += v;
+        return;
+      }
+      if (s.first == kTomb && tomb == SIZE_MAX) tomb = i;
+      if (s.first == kEmpty) {
+        const std::size_t at = tomb != SIZE_MAX ? tomb : i;
+        slots_[at] = {p, v};
+        ++size_;
+        ++used_;
+        if (tomb != SIZE_MAX) {
+          --used_;  // reused a tombstone: occupancy unchanged
+        }
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes p; returns false when absent.
+  bool erase(Vertex p) noexcept {
+    if (slots_.empty()) return false;
+    std::size_t i = detail_probe_start(p);
+    for (;;) {
+      auto& s = slots_[i];
+      if (s.first == p) {
+        s.first = kTomb;
+        --size_;
+        return true;
+      }
+      if (s.first == kEmpty) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.first < kTomb) fn(s.first, s.second);
+    }
+  }
+
+  /// Live prefix at Hamming distance 1 from `p` whose value is `want`,
+  /// with the *lowest* differing bit (the same preference as probing
+  /// candidate dimensions in ascending order, so the coalesced
+  /// structure is identical either way); kEmpty when none.  For the
+  /// small mask classes the frontier is made of, one scan over the slot
+  /// array beats probing every one of n candidate sibling keys.
+  [[nodiscard]] Vertex find_sibling_scan(Vertex p, std::uint64_t want) const noexcept {
+    Vertex best = kEmpty;
+    Vertex best_bit = 0;
+    for (const auto& s : slots_) {
+      if (s.first < kTomb && s.second == want) {
+        const Vertex d = s.first ^ p;
+        if (d != 0 && (d & (d - 1)) == 0 && (best == kEmpty || d < best_bit)) {
+          best = s.first;
+          best_bit = d;
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Slot-array length (scan cost of find_sibling_scan).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t detail_probe_start(Vertex p) const noexcept {
+    return mix_u64(p) & mask_;
+  }
+
+  void reserve_one() {
+    if (slots_.empty()) {
+      slots_.assign(16, {kEmpty, 0});
+      mask_ = 15;
+      return;
+    }
+    if ((used_ + 1) * 10 <= slots_.size() * 7) return;
+    std::vector<std::pair<Vertex, std::uint64_t>> old = std::move(slots_);
+    const std::size_t cap = std::max<std::size_t>(16, old.size() * (size_ * 10 >= old.size() * 3 ? 2 : 1));
+    slots_.assign(cap, {kEmpty, 0});
+    mask_ = cap - 1;
+    used_ = 0;
+    size_ = 0;
+    for (const auto& s : old) {
+      if (s.first < kTomb) add(s.first, s.second);
+    }
+  }
+
+  std::vector<std::pair<Vertex, std::uint64_t>> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;  // live entries
+  std::size_t used_ = 0;  // live + tombstones
+};
+
+}  // namespace detail
+
+/// Multiset of subcubes with per-entry multiplicity, keyed (mask,
+/// prefix).  Two insertion modes:
+///
+///   * insert() — coalescing: sibling entries (same mask and
+///     multiplicity, prefixes one non-free bit apart) merge into a
+///     subcube of one higher dimension, cascading.  The producer's and
+///     validator's informed-set representation.
+///   * add_raw() / take() — plain keyed accumulation / checked
+///     consumption, used for the validator's round-local call-group
+///     ledger (no geometric merging wanted there).
+///
+/// total_count() tracks the multiset cardinality (sum of mult * 2^dim)
+/// with overflow-checked arithmetic — at n = 63 the count reaches 2^63
+/// and one unchecked multiply away from wrapping.
+class SubcubeFrontier {
+ public:
+  explicit SubcubeFrontier(int n) : n_(n) { assert(n >= 1 && n <= kMaxCubeDim); }
+
+  /// Coalescing multiset insert of `mult` copies of (p, M).
+  void insert(Vertex p, Vertex M, std::uint64_t mult = 1) {
+    assert((p & M) == 0);
+    bump_count(M, mult);
+    for (;;) {
+      detail::PrefixTable& t = classes_[M];
+      if (std::uint64_t* v = t.find(p)) {
+        // Duplicate coverage: record it as multiplicity — the endgame
+        // canonical_reduce turns it into a hard validation failure.
+        *v += mult;
+        return;
+      }
+      bool merged = false;
+      // A merge partner lives in the same mask class at Hamming distance
+      // one.  Small classes (the common case: the frontier's distinct
+      // masks outnumber entries-per-class) are scanned in one pass;
+      // large ones are probed per candidate dimension.
+      if (t.capacity() <= static_cast<std::size_t>(2 * n_)) {
+        const Vertex sib = t.find_sibling_scan(p, mult);
+        if (sib != detail::PrefixTable::kEmpty) {
+          const Vertex b = sib ^ p;
+          t.erase(sib);
+          if (t.empty()) classes_.erase(M);
+          p &= ~b;
+          M |= b;
+          merged = true;
+        }
+      } else {
+        for (int d = 0; d < n_; ++d) {
+          const Vertex b = Vertex{1} << d;
+          if (M & b) continue;
+          if (std::uint64_t* sv = t.find(p ^ b); sv && *sv == mult) {
+            t.erase(p ^ b);
+            if (t.empty()) classes_.erase(M);
+            p &= ~b;
+            M |= b;
+            merged = true;
+            break;
+          }
+        }
+      }
+      if (!merged) {
+        t.add(p, mult);
+        ++entries_;
+        return;
+      }
+      --entries_;  // consumed the sibling; the loop re-inserts the merged cube
+    }
+  }
+
+  /// Non-coalescing accumulate: value `v` onto key (p, M).
+  void add_raw(Vertex p, Vertex M, std::uint64_t v) {
+    assert((p & M) == 0);
+    detail::PrefixTable& t = classes_[M];
+    if (std::uint64_t* cur = t.find(p)) {
+      *cur += v;
+    } else {
+      t.add(p, v);
+      ++entries_;
+    }
+  }
+
+  /// Deducts `v` from key (p, M); erases at zero.  Returns false when
+  /// the key is absent or holds less than `v`.
+  [[nodiscard]] bool take(Vertex p, Vertex M, std::uint64_t v) {
+    auto it = classes_.find(M);
+    if (it == classes_.end()) return false;
+    std::uint64_t* cur = it->second.find(p);
+    if (!cur || *cur < v) return false;
+    *cur -= v;
+    if (*cur == 0) {
+      it->second.erase(p);
+      --entries_;
+      if (it->second.empty()) classes_.erase(it);
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t* find(Vertex p, Vertex M) {
+    auto it = classes_.find(M);
+    return it == classes_.end() ? nullptr : it->second.find(p);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_ == 0; }
+  [[nodiscard]] std::uint64_t num_subcubes() const noexcept { return entries_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  /// Multiset cardinality; valid only while count_ok().
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_count_; }
+  [[nodiscard]] bool count_ok() const noexcept { return !count_overflow_; }
+
+  /// fn(prefix, mask, mult) over every entry (unspecified order).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [mask, table] : classes_) {
+      table.for_each([&](Vertex p, std::uint64_t mult) { fn(p, mask, mult); });
+    }
+  }
+
+  /// fn(mask, const detail::PrefixTable&) per mask class — consumers
+  /// that probe by projected prefix (the congestion overlay) iterate
+  /// classes directly.
+  template <class Fn>
+  void for_each_class(Fn&& fn) const {
+    for (const auto& [mask, table] : classes_) fn(mask, table);
+  }
+
+  [[nodiscard]] std::vector<WeightedSubcube> to_entries() const {
+    std::vector<WeightedSubcube> out;
+    out.reserve(static_cast<std::size_t>(entries_));
+    for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
+      out.push_back({p, m, mult});
+    });
+    return out;
+  }
+
+  void clear() {
+    classes_.clear();
+    entries_ = 0;
+    total_count_ = 0;
+    count_overflow_ = false;
+  }
+
+ private:
+  void bump_count(Vertex M, std::uint64_t mult) {
+    std::uint64_t cube = 0;
+    if (!checked_shift_u64(static_cast<unsigned>(weight(M)), cube) ||
+        !checked_mul_u64(cube, mult, cube) ||
+        !checked_acc_u64(total_count_, cube)) {
+      count_overflow_ = true;
+    }
+  }
+
+  int n_;
+  std::unordered_map<Vertex, detail::PrefixTable> classes_;
+  std::uint64_t entries_ = 0;
+  std::uint64_t total_count_ = 0;
+  bool count_overflow_ = false;
+};
+
+/// Order-independent normal form of a subcube multiset: recursively
+/// branches on the highest dimension any entry pins, reduces both
+/// halves, and lifts entries that appear identically in both back to a
+/// free dimension.  A multiset covering every vertex of Q_n exactly once
+/// reduces to the single entry {0, mask_low(n), 1} regardless of how
+/// greedy coalescing fragmented it; duplicate coverage surfaces as
+/// mult > 1 entries.  Returns nullopt when the recursion exceeds
+/// `budget` processed entries (pathologically interleaved inputs).
+[[nodiscard]] std::optional<std::vector<WeightedSubcube>> canonical_reduce(
+    std::vector<WeightedSubcube> entries, int n, std::uint64_t budget = 1u << 26);
+
+/// Finds intersecting pairs in a subcube family.  Returns, for each
+/// unordered pair of family members that share at least one vertex, the
+/// index pair (i < j) — at most `max_pairs` pairs (deduplicated), or
+/// nullopt when the recursion exceeds `budget`.  This is the symbolic
+/// validator's collision-candidate detector: pairs it reports undergo
+/// exact route-pattern analysis, so over-reporting is safe and
+/// under-reporting impossible.
+[[nodiscard]] std::optional<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+find_overlapping_pairs(const std::vector<Subcube>& family,
+                       std::uint64_t budget = 1u << 28,
+                       std::size_t max_pairs = 1u << 16);
+
+}  // namespace shc

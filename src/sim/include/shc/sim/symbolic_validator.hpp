@@ -1,0 +1,517 @@
+// Symbolic broadcast validation — certifies a subcube-batched schedule
+// without ever expanding it to concrete calls.
+//
+// The validator is a SymbolicRoundSink.  It re-derives every clause of
+// the paper's Definitions 1 and 2 algebraically on the group structure:
+//
+//   * per group: pattern well-formedness (starts at the caller, one
+//     dimension per hop, length <= k, no edge reused within a call),
+//     count == subcube size (multiplicity accounting), and edge
+//     existence checked on the representative plus the *support
+//     discipline* — the group's free dimensions must avoid every hop
+//     predicate's support mask, so the representative's verdict is the
+//     whole group's verdict;
+//   * per round: the caller groups must exactly tile the validator's own
+//     informed-set frontier (each informed vertex places exactly one
+//     call — the closure property of minimum-time doubling), and
+//     concurrent groups must not collide: a subcube-disjointness sweep
+//     over call volumes finds candidate pairs, and each candidate gets
+//     exact route-pattern collision analysis (edge subcubes per hop;
+//     vertex subcubes too under the Section-5 vertex-disjoint model);
+//   * across rounds: receivers are inserted into the frontier as a
+//     *multiset* (SubcubeFrontier multiplicities), and the endgame
+//     requires the frontier's canonical form to be the full cube with
+//     multiplicity one.  Coalescing preserves the multiset, so that
+//     single check proves receiver uniqueness, receiver freshness, and
+//     completion for the entire run at once — no per-vertex state ever
+//     exists;
+//   * sample mode: per round a seeded random subset of groups is
+//     expanded into concrete calls and replayed through the serial
+//     reference kernel (validate_round_serial) against the real
+//     adjacency oracle — a bit-level spot check that the algebra and
+//     the graph agree.
+//
+// Model scope: the symbolic engine certifies the paper's exact model
+// (edge_capacity == 1, forbid_redundant_receivers, require_completion)
+// and additionally requires every informed vertex to call each round —
+// the structure minimum-time schedules must have anyway.  Schedules
+// outside that envelope fail with an explicit "symbolic validator
+// requires ..." error rather than a wrong verdict; on *clean* runs the
+// ValidationReport is bit-for-bit the streaming/serial validators'
+// (enforced by parity tests for n <= 24).  Failure error strings are
+// the symbolic engine's own (a group has no single-call location).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shc/bits/bitstring.hpp"
+#include "shc/bits/checked.hpp"
+#include "shc/sim/subcube.hpp"
+#include "shc/sim/symbolic_schedule.hpp"
+#include "shc/sim/validator.hpp"
+
+namespace shc {
+
+/// Oracle contract of the symbolic engine: dimension-indexed adjacency
+/// (has_edge_dim) with a declared *support mask* per dimension — the
+/// pinned bits the edge predicate may read — plus the plain has_edge
+/// used by the sampled concrete replay.  SpecView satisfies this.
+template <class Net>
+concept SymbolicOracle = requires(const Net& net, Vertex u, Vertex v, Dim i) {
+  { net.num_vertices() } -> std::convertible_to<std::uint64_t>;
+  { net.cube_dim() } -> std::convertible_to<int>;
+  { net.has_edge(u, v) } -> std::convertible_to<bool>;
+  { net.has_edge_dim(u, i) } -> std::convertible_to<bool>;
+  { net.dim_support_mask(i) } -> std::convertible_to<Vertex>;
+};
+
+/// Knobs of the symbolic checks (all have safe defaults; caps make the
+/// engine fail explicitly instead of thrashing on adversarial input).
+struct SymbolicCheckOptions {
+  /// Groups sampled per round for concrete serial-kernel replay (0
+  /// disables sampling).
+  std::uint64_t sample_groups_per_round = 4;
+  /// Concrete calls expanded per sampled group.
+  std::uint64_t sample_calls_per_group = 4;
+  std::uint64_t sample_seed = 0x5eedULL;
+
+  /// Hard cap on informed-set subcubes (memory guard).
+  std::uint64_t max_frontier_subcubes = std::uint64_t{1} << 26;
+  /// Node budget of the per-round collision candidate sweep.
+  std::uint64_t collision_budget = std::uint64_t{1} << 28;
+  /// Cap on collision candidate pairs per round.
+  std::size_t max_collision_pairs = std::size_t{1} << 16;
+  /// Node budget of the endgame canonical reduction.
+  std::uint64_t reduce_budget = std::uint64_t{1} << 26;
+};
+
+/// Group/expansion statistics of one symbolic run.
+struct SymbolicRunStats {
+  std::uint64_t groups = 0;           ///< call groups consumed
+  std::uint64_t peak_round_groups = 0;
+  std::uint64_t peak_frontier_subcubes = 0;
+  std::uint64_t final_frontier_subcubes = 0;
+  std::uint64_t collision_candidates = 0;  ///< pairs that needed exact analysis
+  std::uint64_t sampled_calls = 0;         ///< concrete calls replayed serially
+};
+
+template <SymbolicOracle Net>
+class SymbolicBroadcastValidator {
+ public:
+  SymbolicBroadcastValidator(const Net& net, Vertex source,
+                             const ValidationOptions& opt,
+                             const SymbolicCheckOptions& sopt = {})
+      : net_(&net),
+        opt_(opt),
+        sopt_(sopt),
+        n_(net.cube_dim()),
+        order_(net.num_vertices()),
+        frontier_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
+        ledger_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
+        rng_(sopt.sample_seed) {
+    if (n_ < 1 || n_ > kMaxCubeDim || order_ != cube_order(n_)) {
+      fail("symbolic validator requires a full 2^n-vertex cube oracle");
+      return;
+    }
+    if (opt.edge_capacity != 1 || !opt.forbid_redundant_receivers ||
+        !opt.require_completion) {
+      fail("symbolic validator requires the paper's exact model "
+           "(edge_capacity 1, no redundant receivers, completion)");
+      return;
+    }
+    if (source >= order_) {
+      fail("source out of range");
+      return;
+    }
+    frontier_.insert(source, 0);
+  }
+
+  // ---- SymbolicRoundSink interface ------------------------------------
+
+  void begin_round() {
+    if (failed_) return;
+    ++rep_.rounds;
+    round_.groups.clear();
+    round_.group_pattern.clear();
+    round_.pattern_pool.clear();
+    round_.pattern_off.assign(1, 0);
+    volumes_.clear();
+    round_multihop_ = false;
+  }
+
+  void end_call_group(const CallGroup& g, std::span<const Vertex> pattern) {
+    if (failed_) return;
+    const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
+    const Vertex cube = mask_low(n_);
+
+    if (g.count == 0) return fail(where + "empty call group");
+    if ((g.prefix & g.free_mask) != 0) {
+      return fail(where + "group prefix sets bits inside its free mask");
+    }
+    if ((g.prefix | g.free_mask) & ~cube) {
+      return fail(where + "group subcube out of range");
+    }
+    std::uint64_t expect = 0;
+    if (!checked_shift_u64(static_cast<unsigned>(weight(g.free_mask)), expect) ||
+        g.count != expect) {
+      return fail(where + "group count " + std::to_string(g.count) +
+                  " does not equal its subcube size (multiplicity accounting)");
+    }
+    if (pattern.size() < 2) {
+      return fail(where + "empty or zero-length call pattern");
+    }
+    if (pattern[0] != 0) {
+      return fail(where + "call pattern does not start at the caller");
+    }
+    const int length = static_cast<int>(pattern.size()) - 1;
+    if (length > opt_.k) {
+      return fail(where + "call pattern has length " + std::to_string(length) +
+                  " > k=" + std::to_string(opt_.k));
+    }
+
+    Vertex span_mask = 0;
+    for (std::size_t j = 0; j + 1 < pattern.size(); ++j) {
+      const Vertex diff = pattern[j] ^ pattern[j + 1];
+      if (weight(diff) != 1 || (diff & ~cube)) {
+        return fail(where + "pattern hop is not a single in-range dimension flip");
+      }
+      span_mask |= pattern[j + 1];
+      const Dim d = differing_dim(pattern[j], pattern[j + 1]);
+      // Support discipline: the hop's edge predicate must be uniform
+      // over the group, i.e. blind to every free dimension.
+      const Vertex support = net_->dim_support_mask(d);
+      if (g.free_mask & (support | diff)) {
+        return fail(where + "group free dims intersect a hop's support — "
+                    "the producer must split this subcube further");
+      }
+      const Vertex at = g.prefix ^ pattern[j];
+      if (!net_->has_edge_dim(at, d)) {
+        return fail(where + "no edge for dimension " + std::to_string(d) +
+                    " at representative " + std::to_string(at));
+      }
+      // A call may not reuse an edge within its own path (capacity 1).
+      for (std::size_t l = 0; l < j; ++l) {
+        const Vertex ldiff = pattern[l] ^ pattern[l + 1];
+        if (weight(ldiff) == 1 && ldiff == diff &&
+            (pattern[l] & ~diff) == (pattern[j] & ~diff)) {
+          return fail(where + "call pattern reuses an edge within its own path");
+        }
+      }
+    }
+    if (opt_.require_vertex_disjoint) {
+      // The serial kernel's touched-set rejects a call revisiting one of
+      // its own vertices (legal in the edge-disjoint model, where only
+      // edge reuse is banned); mirror that here or the parity claim
+      // breaks on cycle-walking patterns.
+      for (std::size_t j = 0; j < pattern.size(); ++j) {
+        for (std::size_t l = 0; l < j; ++l) {
+          if (pattern[l] == pattern[j]) {
+            return fail(where + "call pattern revisits a vertex "
+                                "(vertex-disjoint model)");
+          }
+        }
+      }
+    }
+    // Note: free_mask is already provably disjoint from span_mask here —
+    // every pattern bit lives in some hop's diff, and each hop failed
+    // fast on free_mask & (support | diff) above.
+    rep_.max_call_length = std::max(rep_.max_call_length, length);
+    if (!checked_acc_u64(rep_.total_calls, g.count)) {
+      return fail(where + "total call count overflowed 64 bits");
+    }
+    ++stats_.groups;
+    if (length >= 2) round_multihop_ = true;
+
+    // The round-local pattern pool uses 32-bit offsets (SymbolicRound's
+    // layout); a round whose summed pattern lengths reach 2^32 must
+    // fail explicitly (the engine's contract on adversarial input), not
+    // wrap the offsets.
+    if (round_.pattern_pool.size() + pattern.size() >
+        std::numeric_limits<std::uint32_t>::max()) {
+      return fail(where + "round pattern pool exceeds 32-bit offsets");
+    }
+    ledger_.add_raw(g.prefix, g.free_mask, g.count);
+    round_.groups.push_back(g);
+    round_.group_pattern.push_back(
+        static_cast<std::uint32_t>(round_.num_patterns()));
+    round_.pattern_pool.insert(round_.pattern_pool.end(), pattern.begin(),
+                               pattern.end());
+    round_.pattern_off.push_back(
+        static_cast<std::uint32_t>(round_.pattern_pool.size()));
+    volumes_.push_back(Subcube{g.prefix & ~span_mask, g.free_mask | span_mask});
+  }
+
+  void end_round() {
+    if (failed_) return;
+    const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
+    if (round_.groups.empty()) return fail(where + "empty round");
+
+    stats_.peak_round_groups =
+        std::max(stats_.peak_round_groups, static_cast<std::uint64_t>(round_.groups.size()));
+
+    if (!check_caller_tiling(where)) return;
+    if (round_multihop_ && !check_collisions(where)) return;
+    if (sopt_.sample_groups_per_round > 0 && !sampled_replay(where)) return;
+
+    // Receivers join the informed multiset; any overlap anywhere in the
+    // run surfaces in the endgame canonical form.
+    for (std::size_t gi = 0; gi < round_.groups.size(); ++gi) {
+      const CallGroup& g = round_.groups[gi];
+      const Vertex last = pattern_of(gi).back();
+      frontier_.insert(g.prefix ^ last, g.free_mask);
+    }
+    if (!frontier_.count_ok()) {
+      return fail(where + "informed-set count overflowed 64 bits");
+    }
+    if (frontier_.num_subcubes() > sopt_.max_frontier_subcubes) {
+      return fail(where + "informed-set subcube cap exceeded (" +
+                  std::to_string(frontier_.num_subcubes()) + " > " +
+                  std::to_string(sopt_.max_frontier_subcubes) + ")");
+    }
+    stats_.peak_frontier_subcubes =
+        std::max(stats_.peak_frontier_subcubes, frontier_.num_subcubes());
+  }
+
+  [[nodiscard]] bool aborted() const noexcept { return failed_; }
+
+  // ---- results ---------------------------------------------------------
+
+  /// Final verdict: endgame canonical reduction plus completion and
+  /// minimum-time.  Idempotent.
+  [[nodiscard]] ValidationReport finish() {
+    if (finished_) return rep_;
+    finished_ = true;
+    stats_.final_frontier_subcubes = frontier_.num_subcubes();
+    if (failed_) return rep_;
+
+    rep_.informed = frontier_.count_ok() ? frontier_.total_count() : 0;
+    if (rep_.informed != order_) {
+      fail("incomplete: informed " + std::to_string(rep_.informed) + " of " +
+           std::to_string(order_));
+      return rep_;
+    }
+    const auto canon =
+        canonical_reduce(frontier_.to_entries(), n_, sopt_.reduce_budget);
+    if (!canon) {
+      fail("endgame canonical reduction exceeded its budget");
+      return rep_;
+    }
+    if (canon->size() != 1 || (*canon)[0].mask != mask_low(n_) ||
+        (*canon)[0].mult != 1) {
+      // The multiset totals 2^n but is not the cube covered once: some
+      // receiver collided with an informed vertex or another receiver.
+      fail("informed multiset is not the cube covered exactly once "
+           "(receiver collision)");
+      return rep_;
+    }
+    rep_.ok = true;
+    rep_.minimum_time = rep_.rounds == ceil_log2(order_) && rep_.informed == order_;
+    return rep_;
+  }
+
+  [[nodiscard]] const SymbolicRunStats& stats() const noexcept { return stats_; }
+
+ private:
+  void fail(const std::string& msg) {
+    if (failed_) return;
+    failed_ = true;
+    rep_.ok = false;
+    rep_.error = msg;
+  }
+
+  [[nodiscard]] std::span<const Vertex> pattern_of(std::size_t gi) const noexcept {
+    return round_.pattern_of_group(gi);
+  }
+
+  /// Every informed vertex must place exactly one call: consume the
+  /// round's group ledger by recursively matching each frontier entry
+  /// against its dyadic split pieces; both sides must come out empty.
+  bool check_caller_tiling(const std::string& where) {
+    // The frontier is iterated over a snapshot (consume only mutates the
+    // round-local ledger).
+    bool ok = true;
+    std::uint64_t budget = static_cast<std::uint64_t>(round_.groups.size()) * 4 + 65536;
+    auto consume = [&](auto&& self, Vertex p, Vertex m) -> bool {
+      if (budget == 0) return false;
+      --budget;
+      std::uint64_t calls = 0;
+      if (!checked_shift_u64(static_cast<unsigned>(weight(m)), calls)) return false;
+      if (ledger_.take(p, m, calls)) return true;
+      if (m == 0) return false;
+      const Vertex b = m & (~m + 1);  // lowest free bit: splits low-first
+      return self(self, p, m & ~b) && self(self, p | b, m & ~b);
+    };
+    frontier_.for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
+      if (!ok) return;
+      if (mult != 1 || !consume(consume, p, m)) ok = false;
+    });
+    if (!ok) {
+      fail(where + (budget == 0
+                        ? "caller tiling budget exceeded"
+                        : "callers do not tile the informed set (some informed "
+                          "vertex places no call)"));
+      return false;
+    }
+    if (!ledger_.empty()) {
+      fail(where + "caller group outside the informed set (uninformed caller "
+                   "or a vertex calling twice)");
+      return false;
+    }
+    return true;
+  }
+
+  /// Candidate pairs by call-volume disjointness, then exact
+  /// route-pattern collision analysis per candidate.
+  bool check_collisions(const std::string& where) {
+    const auto pairs = find_overlapping_pairs(volumes_, sopt_.collision_budget,
+                                              sopt_.max_collision_pairs);
+    if (!pairs) {
+      fail(where + "collision analysis exceeded its budget");
+      return false;
+    }
+    for (const auto& [a, b] : *pairs) {
+      ++stats_.collision_candidates;
+      if (!analyze_pair(where, a, b)) return false;
+    }
+    return true;
+  }
+
+  bool analyze_pair(const std::string& where, std::uint32_t a, std::uint32_t b) {
+    const CallGroup& ga = round_.groups[a];
+    const CallGroup& gb = round_.groups[b];
+    const std::span<const Vertex> pa = pattern_of(a);
+    const std::span<const Vertex> pb = pattern_of(b);
+    // Exact edge-subcube intersection per hop pair on the same dimension.
+    for (std::size_t i = 0; i + 1 < pa.size(); ++i) {
+      const Vertex da = pa[i] ^ pa[i + 1];
+      const Subcube ea{(ga.prefix ^ pa[i]) & ~da, ga.free_mask};
+      for (std::size_t j = 0; j + 1 < pb.size(); ++j) {
+        const Vertex db = pb[j] ^ pb[j + 1];
+        if (da != db) continue;
+        const Subcube eb{(gb.prefix ^ pb[j]) & ~db, gb.free_mask};
+        if (subcubes_overlap(ea, eb)) {
+          fail(where + "edge collision between concurrent call groups");
+          return false;
+        }
+      }
+    }
+    if (opt_.require_vertex_disjoint) {
+      for (const Vertex xa : pa) {
+        const Subcube va{ga.prefix ^ xa, ga.free_mask};
+        for (const Vertex xb : pb) {
+          const Subcube vb{gb.prefix ^ xb, gb.free_mask};
+          if (subcubes_overlap(va, vb)) {
+            fail(where +
+                 "vertex collision between concurrent call groups "
+                 "(vertex-disjoint model)");
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Expands a seeded random subset of groups to concrete calls and
+  /// replays them through the serial reference kernel.
+  bool sampled_replay(const std::string& where) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(sopt_.sample_groups_per_round, round_.groups.size());
+    // Distinct groups: re-expanding one group twice would duplicate its
+    // concrete calls and trip the kernel's receiver-uniqueness check.
+    std::vector<std::size_t> chosen;
+    while (chosen.size() < want) {
+      const std::size_t gi = static_cast<std::size_t>(
+          rng_() % static_cast<std::uint64_t>(round_.groups.size()));
+      if (std::find(chosen.begin(), chosen.end(), gi) == chosen.end()) {
+        chosen.push_back(gi);
+      }
+    }
+    FlatSchedule mini;
+    detail::BroadcastRunState state(order_, opt_);
+    mini.begin_round();
+    for (const std::size_t gi : chosen) {
+      const CallGroup& g = round_.groups[gi];
+      const std::span<const Vertex> patt = pattern_of(gi);
+      std::vector<Vertex> picked;
+      for (std::uint64_t c = 0; c < sopt_.sample_calls_per_group; ++c) {
+        const Vertex assign = rng_() & g.free_mask;
+        if (std::find(picked.begin(), picked.end(), assign) != picked.end()) {
+          continue;  // duplicate free-assignment: same concrete call
+        }
+        picked.push_back(assign);
+        const Vertex u = g.prefix | assign;
+        state.informed.insert(u);
+        for (const Vertex x : patt) mini.push_vertex(u ^ x);
+        mini.end_call_unchecked();
+        ++stats_.sampled_calls;
+      }
+    }
+    ValidationOptions ropt = opt_;
+    ropt.require_completion = false;
+    ValidationReport scratch;
+    if (!detail::validate_round_serial(*net_, mini, 0, mini.num_calls(),
+                                       rep_.rounds, ropt, state, scratch)) {
+      fail(where + "sampled concrete replay failed: " + scratch.error);
+      return false;
+    }
+    return true;
+  }
+
+  const Net* net_;
+  ValidationOptions opt_;
+  SymbolicCheckOptions sopt_;
+  int n_;
+  std::uint64_t order_;
+  SubcubeFrontier frontier_;  ///< informed multiset, cross-round
+  SubcubeFrontier ledger_;    ///< round-local caller ledger (raw mode)
+  std::mt19937_64 rng_;
+
+  // Round-local group storage: one recycled SymbolicRound (patterns
+  // pooled in its 32-bit-offset layout; no deduplication needed here).
+  SymbolicRound round_;
+  std::vector<Subcube> volumes_;
+  bool round_multihop_ = false;
+
+  ValidationReport rep_;
+  SymbolicRunStats stats_;
+  bool failed_ = false;
+  bool finished_ = false;
+};
+
+/// Validates a materialized symbolic schedule by streaming it through a
+/// SymbolicBroadcastValidator.
+template <SymbolicOracle Net>
+[[nodiscard]] ValidationReport validate_broadcast_symbolic(
+    const Net& net, const SymbolicSchedule& schedule, const ValidationOptions& opt,
+    const SymbolicCheckOptions& sopt = {}, SymbolicRunStats* stats = nullptr) {
+  SymbolicBroadcastValidator<Net> sink(net, schedule.source, opt, sopt);
+  if (schedule.n != net.cube_dim()) {
+    ValidationReport rep;
+    rep.ok = false;
+    rep.error = "symbolic schedule dimension " + std::to_string(schedule.n) +
+                " does not match the oracle's " + std::to_string(net.cube_dim());
+    if (stats) *stats = {};
+    return rep;
+  }
+  for (const SymbolicRound& round : schedule.rounds) {
+    if (sink.aborted()) break;
+    sink.begin_round();
+    for (std::size_t g = 0; g < round.groups.size(); ++g) {
+      sink.end_call_group(round.groups[g], round.pattern_of_group(g));
+    }
+    sink.end_round();
+  }
+  const ValidationReport rep = sink.finish();
+  if (stats) *stats = sink.stats();
+  return rep;
+}
+
+}  // namespace shc

@@ -71,7 +71,11 @@ struct ValidationReport {
   int rounds = 0;               ///< rounds examined
   std::uint64_t informed = 0;   ///< vertices informed at the end
   int max_call_length = 0;      ///< longest call seen
-  std::size_t total_calls = 0;  ///< calls across all rounds
+
+  /// Calls across all rounds.  Explicitly 64-bit: the symbolic engine
+  /// certifies schedules of up to 2^63 - 1 calls, which must not wrap
+  /// on any platform's size_t.
+  std::uint64_t total_calls = 0;
 
   /// True iff ok and rounds == ceil(log2 N): the schedule witnesses a
   /// *minimum-time* k-line broadcast (Definition 2).

@@ -1,0 +1,177 @@
+#include "shc/sim/subcube.hpp"
+
+#include <cassert>
+
+namespace shc {
+namespace {
+
+/// Hash for (prefix, mask, mult) triples in the lift-matching step.
+struct EntryKeyHash {
+  std::size_t operator()(const WeightedSubcube& e) const noexcept {
+    std::uint64_t h = detail::mix_u64(e.prefix);
+    h = detail::mix_u64(h ^ e.mask);
+    h = detail::mix_u64(h ^ e.mult);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Recursive normal form; see the header.  `remaining` masks the
+/// dimensions not yet branched or skipped.  Returned entries carry
+/// absolute prefixes (branch bits included by the caller's half).
+bool canon_recurse(std::vector<WeightedSubcube>& entries, Vertex remaining,
+                   std::uint64_t& budget, std::vector<WeightedSubcube>& out) {
+  if (entries.empty()) return true;
+  if (budget < entries.size()) return false;
+  budget -= entries.size();
+
+  // Dimensions some entry pins; everything else stays free in the result.
+  Vertex pinned_any = 0;
+  for (const WeightedSubcube& e : entries) pinned_any |= remaining & ~e.mask;
+
+  if (pinned_any == 0) {
+    // Every entry covers the whole remaining subspace: identical
+    // regions, multiplicities add.
+    WeightedSubcube merged = entries.front();
+    merged.mask = remaining;
+    merged.mult = 0;
+    for (const WeightedSubcube& e : entries) {
+      // Saturate instead of wrapping: any mult != 1 fails the endgame
+      // check, and a saturated value keeps that property.
+      if (!checked_acc_u64(merged.mult, e.mult)) merged.mult = ~std::uint64_t{0};
+    }
+    // The prefix outside `remaining` is shared by construction, and no
+    // entry pins a remaining dimension here.
+    merged.prefix &= ~remaining;
+    out.push_back(merged);
+    return true;
+  }
+
+  const int d = 63 - __builtin_clzll(pinned_any);
+  const Vertex b = Vertex{1} << d;
+  std::vector<WeightedSubcube> lo, hi;
+  for (const WeightedSubcube& e : entries) {
+    if (e.mask & b) {
+      WeightedSubcube half = e;
+      half.mask &= ~b;
+      lo.push_back(half);
+      half.prefix |= b;
+      hi.push_back(half);
+    } else if (e.prefix & b) {
+      hi.push_back(e);
+    } else {
+      lo.push_back(e);
+    }
+  }
+  entries.clear();
+  entries.shrink_to_fit();
+
+  std::vector<WeightedSubcube> lo_out, hi_out;
+  if (!canon_recurse(lo, remaining & ~b, budget, lo_out)) return false;
+  if (!canon_recurse(hi, remaining & ~b, budget, hi_out)) return false;
+
+  // Lift entries present identically in both halves (hi entries carry
+  // bit d set; compare with it cleared).
+  std::unordered_map<WeightedSubcube, std::size_t, EntryKeyHash> left;
+  left.reserve(lo_out.size());
+  for (std::size_t i = 0; i < lo_out.size(); ++i) left.emplace(lo_out[i], i);
+  std::vector<bool> lifted(lo_out.size(), false);
+  for (WeightedSubcube e : hi_out) {
+    WeightedSubcube key = e;
+    key.prefix &= ~b;
+    auto it = left.find(key);
+    if (it != left.end() && !lifted[it->second]) {
+      lifted[it->second] = true;
+      key.mask |= b;
+      out.push_back(key);
+    } else {
+      out.push_back(e);  // pinned 1
+    }
+  }
+  for (std::size_t i = 0; i < lo_out.size(); ++i) {
+    if (!lifted[i]) out.push_back(lo_out[i]);  // pinned 0
+  }
+  return true;
+}
+
+void overlap_recurse(std::vector<std::uint32_t>& ids,
+                     const std::vector<Subcube>& family, Vertex remaining,
+                     std::uint64_t& budget, bool& budget_ok,
+                     std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+                     std::size_t max_pairs) {
+  if (!budget_ok || ids.size() <= 1) return;
+  if (budget < ids.size()) {
+    budget_ok = false;
+    return;
+  }
+  budget -= ids.size();
+
+  Vertex pinned_any = 0;
+  for (const std::uint32_t i : ids) pinned_any |= remaining & ~family[i].mask;
+
+  if (pinned_any == 0) {
+    // All members cover the whole remaining subspace and agree on the
+    // branch path: every pair here overlaps.  Hitting max_pairs counts
+    // as a budget failure — a truncated pair list would silently skip
+    // collision analysis for the dropped pairs.
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < ids.size(); ++b) {
+        if (pairs.size() >= max_pairs) {
+          budget_ok = false;
+          return;
+        }
+        const std::uint32_t i = std::min(ids[a], ids[b]);
+        const std::uint32_t j = std::max(ids[a], ids[b]);
+        pairs.emplace_back(i, j);
+      }
+    }
+    return;
+  }
+
+  const int d = 63 - __builtin_clzll(pinned_any);
+  const Vertex b = Vertex{1} << d;
+  std::vector<std::uint32_t> lo, hi;
+  for (const std::uint32_t i : ids) {
+    const Subcube& s = family[i];
+    if (s.mask & b) {
+      lo.push_back(i);
+      hi.push_back(i);
+    } else if (s.prefix & b) {
+      hi.push_back(i);
+    } else {
+      lo.push_back(i);
+    }
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  overlap_recurse(lo, family, remaining & ~b, budget, budget_ok, pairs, max_pairs);
+  overlap_recurse(hi, family, remaining & ~b, budget, budget_ok, pairs, max_pairs);
+}
+
+}  // namespace
+
+std::optional<std::vector<WeightedSubcube>> canonical_reduce(
+    std::vector<WeightedSubcube> entries, int n, std::uint64_t budget) {
+  assert(n >= 1 && n <= kMaxCubeDim);
+  std::vector<WeightedSubcube> out;
+  if (!canon_recurse(entries, mask_low(n), budget, out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+find_overlapping_pairs(const std::vector<Subcube>& family, std::uint64_t budget,
+                       std::size_t max_pairs) {
+  std::vector<std::uint32_t> ids(family.size());
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  bool budget_ok = true;
+  overlap_recurse(ids, family, mask_low(kMaxCubeDim), budget, budget_ok, pairs,
+                  max_pairs);
+  if (!budget_ok) return std::nullopt;
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace shc

@@ -1,0 +1,67 @@
+// Expansion bridge between the symbolic and materialized schedule
+// representations.
+#include <stdexcept>
+#include <string>
+
+#include "shc/bits/checked.hpp"
+#include "shc/sim/flat_schedule.hpp"
+#include "shc/sim/symbolic_schedule.hpp"
+
+namespace shc {
+
+FlatSchedule FlatSchedule::from_symbolic(const SymbolicSchedule& symbolic) {
+  // Exact reservation first: a symbolic schedule describes up to
+  // 2^63 - 1 calls, and materializing must refuse — not wrap — beyond
+  // the flat engine's sane range.
+  std::uint64_t calls = 0;
+  std::uint64_t path_vertices = 0;
+  for (const SymbolicRound& round : symbolic.rounds) {
+    for (std::size_t g = 0; g < round.groups.size(); ++g) {
+      const CallGroup& grp = round.groups[g];
+      if ((grp.prefix & grp.free_mask) != 0) {
+        throw std::invalid_argument("from_symbolic: group prefix overlaps mask");
+      }
+      std::uint64_t size = 0;
+      if (!checked_shift_u64(static_cast<unsigned>(weight(grp.free_mask)), size) ||
+          size != grp.count) {
+        throw std::invalid_argument("from_symbolic: group count mismatch");
+      }
+      const std::uint64_t len = round.pattern_of_group(g).size();
+      std::uint64_t pv = 0;
+      if (!checked_acc_u64(calls, grp.count) ||
+          !checked_mul_u64(grp.count, len, pv) ||
+          !checked_acc_u64(path_vertices, pv)) {
+        throw std::invalid_argument("from_symbolic: expanded size overflows");
+      }
+    }
+  }
+  if (calls > (std::uint64_t{1} << 28)) {
+    throw std::invalid_argument(
+        "from_symbolic: " + std::to_string(calls) +
+        " expanded calls exceed the materializable range (2^28)");
+  }
+
+  FlatSchedule out;
+  out.source = symbolic.source;
+  out.reserve(symbolic.rounds.size(), static_cast<std::size_t>(calls),
+              static_cast<std::size_t>(path_vertices));
+  for (const SymbolicRound& round : symbolic.rounds) {
+    out.begin_round();
+    for (std::size_t g = 0; g < round.groups.size(); ++g) {
+      const CallGroup& grp = round.groups[g];
+      const std::span<const Vertex> patt = round.pattern_of_group(g);
+      Vertex a = 0;
+      for (;;) {
+        const Vertex u = grp.prefix | a;
+        for (const Vertex x : patt) out.push_vertex(u ^ x);
+        out.end_call_unchecked();
+        if (a == grp.free_mask) break;
+        a = (a - grp.free_mask) & grp.free_mask;
+      }
+    }
+    out.end_round();
+  }
+  return out;
+}
+
+}  // namespace shc

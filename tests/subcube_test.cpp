@@ -1,0 +1,243 @@
+// Subcube algebra unit suite: disjointness, splitting, intersection,
+// and multiplicity accounting — property-style sweeps over random
+// subcube pairs cross-checked exhaustively against explicit bitmaps for
+// n <= 16, plus the canonical-reduction and overlap-sweep engines the
+// symbolic validator's endgame rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bitset>
+#include <random>
+#include <vector>
+
+#include "shc/bits/checked.hpp"
+#include "shc/sim/subcube.hpp"
+#include "shc/sim/worker_pool.hpp"
+
+namespace shc {
+namespace {
+
+/// Reference expansion of a subcube into an explicit vertex bitmap.
+std::bitset<1 << 16> expand(const Subcube& s) {
+  std::bitset<1 << 16> bits;
+  Vertex a = 0;
+  for (;;) {
+    bits.set(static_cast<std::size_t>(s.prefix | a));
+    if (a == s.mask) break;
+    a = (a - s.mask) & s.mask;
+  }
+  return bits;
+}
+
+Subcube random_subcube(std::mt19937_64& rng, int n) {
+  const Vertex mask = rng() & mask_low(n);
+  const Vertex prefix = rng() & mask_low(n) & ~mask;
+  return {prefix, mask};
+}
+
+TEST(SubcubeAlgebra, OverlapAndIntersectionMatchBitmapsExhaustivelySmall) {
+  // Every subcube pair of Q_4: 3^4 x 3^4 shapes via (mask, prefix) scan.
+  for (Vertex m1 = 0; m1 < 16; ++m1) {
+    for (Vertex p1 = 0; p1 < 16; ++p1) {
+      if (p1 & m1) continue;
+      for (Vertex m2 = 0; m2 < 16; ++m2) {
+        for (Vertex p2 = 0; p2 < 16; ++p2) {
+          if (p2 & m2) continue;
+          const Subcube a{p1, m1}, b{p2, m2};
+          const auto bits = expand(a) & expand(b);
+          ASSERT_EQ(subcubes_overlap(a, b), bits.any());
+          const auto inter = subcube_intersection(a, b);
+          ASSERT_EQ(inter.has_value(), bits.any());
+          if (inter) {
+            ASSERT_EQ(expand(*inter), bits);
+          }
+          ASSERT_EQ(subcube_contains(a, b), (expand(b) & ~expand(a)).none());
+        }
+      }
+    }
+  }
+}
+
+TEST(SubcubeAlgebra, RandomPairSweepMatchesBitmapsAtN16) {
+  std::mt19937_64 rng(0xA11CE);
+  const int n = 16;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Subcube a = random_subcube(rng, n);
+    const Subcube b = random_subcube(rng, n);
+    const auto ea = expand(a), eb = expand(b);
+    ASSERT_EQ(subcubes_overlap(a, b), (ea & eb).any());
+    const auto inter = subcube_intersection(a, b);
+    if (inter) {
+      ASSERT_EQ(expand(*inter), ea & eb);
+    } else {
+      ASSERT_TRUE((ea & eb).none());
+    }
+    ASSERT_EQ(subcube_contains(a, b), (eb & ~ea).none());
+    ASSERT_EQ(a.size(), ea.count());
+  }
+}
+
+TEST(SubcubeAlgebra, SubtractSplitsIntoDisjointCover) {
+  std::mt19937_64 rng(0xBEEF);
+  const int n = 12;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Subcube outer = random_subcube(rng, n);
+    // A random sub-subcube of outer: pin a random subset of its free dims.
+    const Vertex pin = rng() & outer.mask;
+    const Subcube inner{outer.prefix | (rng() & pin), outer.mask & ~pin};
+    ASSERT_TRUE(subcube_contains(outer, inner));
+    const auto pieces = subcube_subtract(outer, inner);
+    ASSERT_EQ(pieces.size(), static_cast<std::size_t>(weight(pin)));
+    auto covered = expand(inner);
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const auto bits = expand(pieces[i]);
+      ASSERT_TRUE((bits & covered).none()) << "piece overlaps";
+      ASSERT_FALSE(subcubes_overlap(pieces[i], inner));
+      covered |= bits;
+    }
+    ASSERT_EQ(covered, expand(outer)) << "pieces + inner must tile outer";
+  }
+}
+
+TEST(SubcubeFrontierTest, CoalescesATilingToOneCubeAndCountsExactly) {
+  // Insert all 2^10 singletons in random order: sibling coalescing must
+  // collapse them into few subcubes totalling exactly 2^10.
+  const int n = 10;
+  std::vector<Vertex> order(1 << n);
+  for (Vertex v = 0; v < order.size(); ++v) order[v] = v;
+  std::mt19937_64 rng(7);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  SubcubeFrontier f(n);
+  for (const Vertex v : order) f.insert(v, 0);
+  EXPECT_TRUE(f.count_ok());
+  EXPECT_EQ(f.total_count(), cube_order(n));
+  // Greedy sibling merging is order-sensitive and may wedge in a local
+  // optimum (which is exactly why the endgame uses canonical_reduce);
+  // it must still collapse a substantial fraction of the tiling.
+  EXPECT_LT(f.num_subcubes(), cube_order(n) / 2);
+
+  // Whatever local optimum greedy coalescing reached, the canonical
+  // reduction is the single full cube with multiplicity one.
+  const auto canon = canonical_reduce(f.to_entries(), n);
+  ASSERT_TRUE(canon.has_value());
+  ASSERT_EQ(canon->size(), 1u);
+  EXPECT_EQ((*canon)[0].prefix, 0u);
+  EXPECT_EQ((*canon)[0].mask, mask_low(n));
+  EXPECT_EQ((*canon)[0].mult, 1u);
+}
+
+TEST(SubcubeFrontierTest, MultiplicityAccountingSurvivesCoalescing) {
+  const int n = 8;
+  SubcubeFrontier f(n);
+  // Cover the cube once...
+  f.insert(0, mask_low(n));
+  // ...and vertex 5 a second time: the multiset must remember it.
+  f.insert(5, 0);
+  EXPECT_EQ(f.total_count(), cube_order(n) + 1);
+  const auto canon = canonical_reduce(f.to_entries(), n);
+  ASSERT_TRUE(canon.has_value());
+  bool found_duplicate = false;
+  for (const WeightedSubcube& e : *canon) {
+    if (e.mult > 1) {
+      found_duplicate = true;
+      const Subcube dup{e.prefix, e.mask};
+      EXPECT_TRUE(dup.contains_vertex(5));
+    }
+  }
+  EXPECT_TRUE(found_duplicate) << "duplicate coverage must not coalesce away";
+}
+
+TEST(SubcubeFrontierTest, RawLedgerTakeConsumesExactly) {
+  SubcubeFrontier ledger(8);
+  ledger.add_raw(3, 0x30, 4);
+  EXPECT_FALSE(ledger.take(3, 0x30, 5)) << "cannot take more than present";
+  EXPECT_TRUE(ledger.take(3, 0x30, 4));
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_FALSE(ledger.take(3, 0x30, 1));
+}
+
+TEST(CanonicalReduce, NormalizesAnyDisjointPartitionOfTheCube) {
+  std::mt19937_64 rng(0xCAFE);
+  const int n = 9;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random recursive partition of Q_n into subcubes.
+    std::vector<Subcube> stack{{0, mask_low(n)}};
+    std::vector<WeightedSubcube> parts;
+    while (!stack.empty()) {
+      const Subcube c = stack.back();
+      stack.pop_back();
+      if (c.mask != 0 && (rng() & 3) != 0) {
+        const int free_dims = weight(c.mask);
+        int pick = static_cast<int>(rng() % static_cast<std::uint64_t>(free_dims));
+        Vertex b = c.mask;
+        while (pick--) b &= b - 1;
+        b &= ~b + 1;
+        stack.push_back({c.prefix, c.mask & ~b});
+        stack.push_back({c.prefix | b, c.mask & ~b});
+      } else {
+        parts.push_back({c.prefix, c.mask, 1});
+      }
+    }
+    std::shuffle(parts.begin(), parts.end(), rng);
+    const auto canon = canonical_reduce(parts, n);
+    ASSERT_TRUE(canon.has_value());
+    ASSERT_EQ(canon->size(), 1u) << "a partition of the cube must reduce to it";
+    EXPECT_EQ((*canon)[0].mask, mask_low(n));
+    EXPECT_EQ((*canon)[0].mult, 1u);
+  }
+}
+
+TEST(OverlapSweep, FindsExactlyTheIntersectingPairs) {
+  std::mt19937_64 rng(0xD15C0);
+  const int n = 12;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Subcube> family;
+    for (int i = 0; i < 24; ++i) family.push_back(random_subcube(rng, n));
+    const auto pairs = find_overlapping_pairs(family);
+    ASSERT_TRUE(pairs.has_value());
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> expect;
+    for (std::uint32_t i = 0; i < family.size(); ++i) {
+      for (std::uint32_t j = i + 1; j < family.size(); ++j) {
+        if (subcubes_overlap(family[i], family[j])) expect.emplace_back(i, j);
+      }
+    }
+    ASSERT_EQ(*pairs, expect);
+  }
+}
+
+TEST(CheckedArithmetic, FlagsTheBoundaryInsteadOfWrapping) {
+  std::uint64_t out = 0;
+  // 2^63 - 1 calls (the n = 63 broadcast) must survive doubling checks...
+  EXPECT_TRUE(checked_add_u64((std::uint64_t{1} << 63) - 1, 1, out));
+  EXPECT_EQ(out, std::uint64_t{1} << 63);
+  // ...but one step past 2^64 - 1 must flag, not wrap.
+  out = 7;
+  EXPECT_FALSE(checked_add_u64(~std::uint64_t{0}, 1, out));
+  EXPECT_EQ(out, 7u) << "failed add must leave the accumulator untouched";
+  EXPECT_FALSE(checked_mul_u64(std::uint64_t{1} << 32, std::uint64_t{1} << 32, out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_TRUE(checked_mul_u64(std::uint64_t{1} << 31, std::uint64_t{1} << 32, out));
+  EXPECT_EQ(out, std::uint64_t{1} << 63);
+  EXPECT_TRUE(checked_shift_u64(63, out));
+  EXPECT_FALSE(checked_shift_u64(64, out));
+}
+
+TEST(WorkerPoolTest, RunsEveryJobExactlyOnceAcrossReuse) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  // Reuse the same pool across many generations (the per-round pattern).
+  for (int round = 0; round < 200; ++round) {
+    const int jobs = 1 + round % 7;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(jobs));
+    pool.run(jobs, [&](int j) { hits[static_cast<std::size_t>(j)].fetch_add(1); });
+    for (int j = 0; j < jobs; ++j) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(j)].load(), 1)
+          << "job " << j << " of round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shc

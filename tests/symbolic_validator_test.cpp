@@ -1,0 +1,439 @@
+// Parity and adversarial suite for the symbolic subcube engine.
+//
+// Contract under test: on the overlapping range (n <= 24, k in
+// {2, 3, 4}) certify_broadcast_symbolic produces a ValidationReport
+// bit-for-bit identical to validate_broadcast_streaming's, the
+// from_symbolic expansion validates identically through the serial
+// kernel, and analyze_congestion_symbolic reproduces the explicit
+// congestion stats including the histogram.  Beyond the overlapping
+// range, the engine certifies 2^63 - 1 calls at n = 63 — the
+// representation boundary the overflow-audited counters exist for —
+// and every handcrafted violation of the group structure is rejected.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "shc/mlbg/broadcast.hpp"
+#include "shc/mlbg/params.hpp"
+#include "shc/mlbg/spec.hpp"
+#include "shc/mlbg/symbolic_broadcast.hpp"
+#include "shc/sim/congestion.hpp"
+#include "shc/sim/streaming_validator.hpp"
+#include "shc/sim/symbolic_validator.hpp"
+
+namespace shc {
+namespace {
+
+static_assert(SymbolicRoundSink<SymbolicBroadcastValidator<SpecView>>,
+              "the symbolic validator is a symbolic round sink");
+static_assert(SymbolicOracle<SpecView>,
+              "SpecView answers dimension-indexed adjacency with supports");
+
+void expect_same_report(const ValidationReport& a, const ValidationReport& b,
+                        const char* what) {
+  EXPECT_TRUE(a == b) << what << ":\n  streaming: ok=" << a.ok << " \"" << a.error
+                      << "\" rounds=" << a.rounds << " informed=" << a.informed
+                      << " calls=" << a.total_calls
+                      << " maxlen=" << a.max_call_length << "\n  symbolic:  ok="
+                      << b.ok << " \"" << b.error << "\" rounds=" << b.rounds
+                      << " informed=" << b.informed << " calls=" << b.total_calls
+                      << " maxlen=" << b.max_call_length;
+}
+
+TEST(SymbolicParity, ReportsMatchStreamingForAllNUpTo24AcrossK234) {
+  for (int n = 5; n <= 24; ++n) {
+    for (int k = 2; k <= 4; ++k) {
+      if (n <= k + 1) continue;
+      const auto spec = design_sparse_hypercube(n, k);
+      ValidationOptions opt;
+      opt.k = spec.k();
+      const auto sym = certify_broadcast_symbolic(spec, 0, opt);
+      const auto stream = certify_broadcast_streaming(spec, 0, opt, 1);
+      expect_same_report(stream.report, sym.report,
+                         ("n=" + std::to_string(n) + " k=" + std::to_string(k))
+                             .c_str());
+      EXPECT_TRUE(sym.report.ok);
+      EXPECT_TRUE(sym.report.minimum_time);
+      EXPECT_GT(sym.checks.sampled_calls, 0u)
+          << "bit-level spot checks must actually run";
+      // Groups represent the full 2^n - 1 calls (the asymptotic
+      // compression claim itself is asserted in SymbolicStats below).
+      EXPECT_EQ(sym.report.total_calls, cube_order(n) - 1);
+    }
+  }
+}
+
+TEST(SymbolicParity, VertexDisjointModelMatchesToo) {
+  for (const int n : {8, 12, 16}) {
+    for (int k = 2; k <= 4; ++k) {
+      const auto spec = design_sparse_hypercube(n, k);
+      ValidationOptions opt;
+      opt.k = spec.k();
+      opt.require_vertex_disjoint = true;
+      const auto sym = certify_broadcast_symbolic(spec, 0, opt);
+      const auto stream = certify_broadcast_streaming(spec, 0, opt, 1);
+      expect_same_report(stream.report, sym.report, "vertex-disjoint");
+      EXPECT_TRUE(sym.report.ok);
+    }
+  }
+}
+
+TEST(SymbolicParity, NonzeroSourcesAndCustomCuts) {
+  for (const auto& [n, cuts] : std::vector<std::pair<int, std::vector<int>>>{
+           {10, {3}}, {12, {3, 6}}, {13, {2, 5, 9}}}) {
+    const auto spec = SparseHypercubeSpec::construct(n, cuts);
+    ValidationOptions opt;
+    opt.k = spec.k();
+    for (const Vertex source : {Vertex{0}, Vertex{1}, cube_order(n) - 1,
+                                Vertex{0x2A} & (cube_order(n) - 1)}) {
+      const auto sym = certify_broadcast_symbolic(spec, source, opt);
+      const auto stream = certify_broadcast_streaming(spec, source, opt, 1);
+      expect_same_report(stream.report, sym.report, "custom cuts/source");
+      EXPECT_TRUE(sym.report.ok) << sym.report.error;
+    }
+  }
+}
+
+TEST(SymbolicExpansion, FromSymbolicValidatesIdenticallyAndCongestionMatches) {
+  for (const int n : {8, 10, 12, 14}) {
+    for (int k = 2; k <= 4; ++k) {
+      const auto spec = design_sparse_hypercube(n, k);
+      const SymbolicSchedule sym = make_symbolic_broadcast_schedule(spec, 0);
+      const FlatSchedule expanded = FlatSchedule::from_symbolic(sym);
+      const FlatSchedule direct = make_broadcast_schedule(spec, 0);
+
+      // Same call multiset, possibly different order: reports and
+      // order-insensitive congestion stats must agree exactly.
+      EXPECT_EQ(expanded.num_calls(), direct.num_calls());
+      EXPECT_EQ(expanded.num_path_vertices(), direct.num_path_vertices());
+
+      const SpecView view(spec);
+      ValidationOptions opt;
+      opt.k = spec.k();
+      expect_same_report(validate_broadcast(view, direct, opt),
+                         validate_broadcast(view, expanded, opt), "expansion");
+
+      const CongestionStats explicit_stats = analyze_congestion(expanded);
+      const SymbolicCongestionReport symbolic = analyze_congestion_symbolic(sym);
+      ASSERT_TRUE(symbolic.ok) << symbolic.error;
+      EXPECT_TRUE(explicit_stats == symbolic.stats)
+          << "n=" << n << " k=" << k
+          << ": symbolic congestion diverged (distinct "
+          << symbolic.stats.distinct_edges_used << " vs "
+          << explicit_stats.distinct_edges_used << ", hops "
+          << symbolic.stats.total_edge_hops << " vs "
+          << explicit_stats.total_edge_hops << ")";
+      EXPECT_EQ(explicit_stats, analyze_congestion(direct))
+          << "expanded and direct schedules are the same multiset";
+    }
+  }
+}
+
+TEST(SymbolicBoundary, CertifiesTheFullRepresentationRangeN63) {
+  // The overflow-audit boundary: 2^63 - 1 calls, 2^63 informed vertices.
+  // construct_base(63, 6) keeps the subcube frontier small (lambda = 4),
+  // so this certifies in seconds.
+  const auto spec = SparseHypercubeSpec::construct_base(63, 6);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  const auto cert = certify_broadcast_symbolic(spec, 0, opt);
+  ASSERT_TRUE(cert.report.ok) << cert.report.error;
+  EXPECT_TRUE(cert.report.minimum_time);
+  EXPECT_EQ(cert.report.rounds, 63);
+  EXPECT_EQ(cert.report.total_calls, (std::uint64_t{1} << 63) - 1);
+  EXPECT_EQ(cert.report.informed, std::uint64_t{1} << 63);
+  EXPECT_EQ(cert.report.max_call_length, 2);
+  EXPECT_GT(cert.checks.sampled_calls, 0u);
+}
+
+TEST(SymbolicBoundary, RejectsOversizedExpansionInsteadOfWrapping) {
+  const auto spec = SparseHypercubeSpec::construct_base(40, 6);
+  const SymbolicSchedule sym = make_symbolic_broadcast_schedule(spec, 0);
+  EXPECT_THROW((void)FlatSchedule::from_symbolic(sym), std::invalid_argument);
+}
+
+TEST(SymbolicBoundary, SourceOutOfRangeMatchesStreamingReport) {
+  const auto spec = design_sparse_hypercube(10, 2);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  const auto sym = certify_broadcast_symbolic(spec, cube_order(10), opt);
+  EXPECT_FALSE(sym.report.ok);
+  EXPECT_EQ(sym.report.error, "source out of range");
+}
+
+// ---- handcrafted violations ------------------------------------------
+
+/// A clean materialized symbolic schedule to mutate.
+SymbolicSchedule clean_schedule(int n = 10, int k = 2) {
+  return make_symbolic_broadcast_schedule(design_sparse_hypercube(n, k), 0);
+}
+
+ValidationReport check(const SymbolicSchedule& s, int n = 10, int k = 2,
+                       bool vertex_disjoint = false) {
+  const auto spec = design_sparse_hypercube(n, k);
+  const SpecView view(spec);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  opt.require_vertex_disjoint = vertex_disjoint;
+  return validate_broadcast_symbolic(view, s, opt);
+}
+
+TEST(SymbolicViolations, UnsupportedModelOptionsFailExplicitly) {
+  const auto spec = design_sparse_hypercube(10, 2);
+  const SpecView view(spec);
+  const auto sym = clean_schedule();
+  for (auto mutate : {+[](ValidationOptions& o) { o.edge_capacity = 2; },
+                      +[](ValidationOptions& o) { o.forbid_redundant_receivers = false; },
+                      +[](ValidationOptions& o) { o.require_completion = false; }}) {
+    ValidationOptions opt;
+    opt.k = spec.k();
+    mutate(opt);
+    const auto rep = validate_broadcast_symbolic(view, sym, opt);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.error.find("symbolic validator requires"), std::string::npos);
+  }
+}
+
+TEST(SymbolicViolations, CountMismatchIsMultiplicityAccountingError) {
+  auto s = clean_schedule();
+  s.rounds[2].groups[0].count += 1;
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("multiplicity accounting"), std::string::npos);
+}
+
+TEST(SymbolicViolations, UninformedCallerDetected) {
+  auto s = clean_schedule();
+  // Round 3's first group: translate its caller subcube into territory
+  // the informed set cannot fully cover yet.
+  s.rounds[3].groups[0].prefix ^= Vertex{1} << 8;
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("informed set"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, MissingCallerDetected) {
+  auto s = clean_schedule();
+  auto& round = s.rounds[3];
+  round.groups.pop_back();
+  round.group_pattern.pop_back();
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("tile"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, PatternNotStartingAtCallerDetected) {
+  auto s = clean_schedule();
+  auto& round = s.rounds[1];
+  round.pattern_pool[round.pattern_off[round.group_pattern[0]]] ^= 1;
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("start at the caller"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, NonEdgeHopDetected) {
+  // construct_base(10, 3): dimension 10 is owned by one label class, so
+  // flipping the route onto a wrong dimension leaves the graph.
+  const auto spec = SparseHypercubeSpec::construct_base(10, 3);
+  auto s = make_symbolic_broadcast_schedule(spec, 0);
+  // Rewrite round 1's (dim-10 sweep) first pattern: replace the final
+  // hop's dimension with an absent edge by flipping a different high bit.
+  auto& round = s.rounds[0];
+  const std::uint32_t pid = round.group_pattern[0];
+  const std::uint32_t last = round.pattern_off[pid + 1] - 1;
+  round.pattern_pool[last] =
+      round.pattern_pool[last - 1] ^ (Vertex{1} << 8);  // dim 9 of wrong owner?
+  const SpecView view(spec);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  const auto rep = validate_broadcast_symbolic(view, s, opt);
+  EXPECT_FALSE(rep.ok);
+}
+
+/// Appends `patt` as a fresh pattern of `round` and points group `g` at it.
+void repoint_group(SymbolicRound& round, std::size_t g,
+                   const std::vector<Vertex>& patt) {
+  round.pattern_pool.insert(round.pattern_pool.end(), patt.begin(), patt.end());
+  round.pattern_off.push_back(
+      static_cast<std::uint32_t>(round.pattern_pool.size()));
+  round.group_pattern[g] = static_cast<std::uint32_t>(round.num_patterns() - 1);
+}
+
+TEST(SymbolicViolations, OverlongPatternDetected) {
+  auto s = clean_schedule();
+  auto& round = s.rounds[1];
+  // Extend group 0's pattern with a dim-1/dim-2 walk far past k = 2.
+  const auto orig = round.pattern_of_group(0);
+  std::vector<Vertex> patt(orig.begin(), orig.end());
+  patt.push_back(patt.back() ^ 1);
+  patt.push_back(patt.back() ^ 2);
+  repoint_group(round, 0, patt);
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("length"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, IntraPathEdgeReuseDetected) {
+  auto s = clean_schedule(10, 4);  // k = 4 leaves room for a longer walk
+  auto& round = s.rounds[1];
+  // Walk back over the pattern's own last edge: ... -> last -> previous.
+  const auto orig = round.pattern_of_group(0);
+  std::vector<Vertex> patt(orig.begin(), orig.end());
+  patt.push_back(patt[patt.size() - 2]);
+  repoint_group(round, 0, patt);
+  const auto rep = check(s, 10, 4);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("reuses an edge"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, ReceiverCollisionSurfacesInTheEndgame) {
+  auto s = clean_schedule();
+  // Round 2: find the group whose callers include the source, and make
+  // it re-walk round 1's route from the source — its receiver is then
+  // round 1's receiver, a vertex that is already informed.  The
+  // validator must refuse, whichever check fires first (span/support
+  // discipline for merged groups, endgame multiset otherwise).
+  const std::span<const Vertex> round0_patt = s.rounds[0].pattern_of_group(0);
+  auto& round = s.rounds[1];
+  std::size_t target = round.groups.size();
+  for (std::size_t g = 0; g < round.groups.size(); ++g) {
+    if (round.groups[g].callers().contains_vertex(0)) target = g;
+  }
+  ASSERT_LT(target, round.groups.size());
+  round.pattern_pool.insert(round.pattern_pool.end(), round0_patt.begin(),
+                            round0_patt.end());
+  round.pattern_off.push_back(
+      static_cast<std::uint32_t>(round.pattern_pool.size()));
+  round.group_pattern[target] =
+      static_cast<std::uint32_t>(round.num_patterns() - 1);
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(SymbolicViolations, TruncatedScheduleIsIncomplete) {
+  auto s = clean_schedule();
+  s.rounds.pop_back();
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("incomplete"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, EmptyRoundDetected) {
+  auto s = clean_schedule();
+  s.rounds[4].groups.clear();
+  s.rounds[4].group_pattern.clear();
+  const auto rep = check(s);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("empty round"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, FreeDimInsideSupportRequiresSplit) {
+  // Hand-build a 2-round schedule on Q_3 (full cube spec: construct_base
+  // with m = 2 has dims 3 governed): a group whose free mask intersects
+  // the window of a governed dimension must be rejected.
+  const auto spec = SparseHypercubeSpec::construct_base(6, 2);
+  const SpecView view(spec);
+  // Pick a governed dimension whose edge exists at the all-zero vertex.
+  Dim governed = 0;
+  for (Dim d = 3; d <= 6; ++d) {
+    if (spec.has_edge_dim(0, d)) governed = d;
+  }
+  ASSERT_NE(governed, 0) << "Condition A guarantees some owned dimension";
+  ASSERT_NE(spec.dim_support_mask(governed), 0u);
+  SymbolicScheduleBuilder b(0, 6);
+  b.begin_round();
+  {
+    CallGroup g;
+    g.prefix = 0;
+    g.free_mask = 0;
+    g.count = 1;
+    const Vertex patt[] = {0, dim_bit(governed)};
+    b.end_call_group(g, patt);
+  }
+  b.end_round();
+  auto s = std::move(b).take();
+  // ...but claiming the whole window as free must fail the support check.
+  s.rounds[0].groups[0].free_mask = mask_low(2);
+  s.rounds[0].groups[0].count = 4;
+  ValidationOptions opt;
+  opt.k = spec.k();
+  const auto rep = validate_broadcast_symbolic(view, s, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("support"), std::string::npos) << rep.error;
+}
+
+TEST(SymbolicViolations, IntraCallVertexRevisitRejectedInVertexDisjointModel) {
+  // A cycle-walking pattern that revisits one of its own vertices over
+  // distinct edges: legal in the edge-disjoint model, rejected by the
+  // serial kernel's touched-set under vertex-disjointness — the
+  // symbolic engine must agree.  Core dims of construct_base(6, 4) are
+  // 1..4, so every hop below is a real edge.
+  const auto spec = SparseHypercubeSpec::construct_base(6, 4);
+  const SpecView view(spec);
+  SymbolicScheduleBuilder b(16, 6);
+  b.begin_round();
+  {
+    CallGroup g;
+    g.prefix = 16;
+    g.free_mask = 0;
+    g.count = 1;
+    // Relative walk 0 -> 1 -> 3 -> 7 -> 5 -> 1 -> 9: vertex 1 twice,
+    // all six edges distinct.
+    const Vertex patt[] = {0, 1, 3, 7, 5, 1, 9};
+    b.end_call_group(g, patt);
+  }
+  b.end_round();
+  const auto s = std::move(b).take();
+
+  ValidationOptions opt;
+  opt.k = 10;
+  opt.require_vertex_disjoint = true;
+  const auto vd = validate_broadcast_symbolic(view, s, opt);
+  EXPECT_FALSE(vd.ok);
+  EXPECT_NE(vd.error.find("revisits a vertex"), std::string::npos) << vd.error;
+
+  // Edge-disjoint model: the pattern itself is fine (the schedule still
+  // fails later for other reasons, but not on this clause).
+  opt.require_vertex_disjoint = false;
+  const auto ed = validate_broadcast_symbolic(view, s, opt);
+  EXPECT_EQ(ed.error.find("revisits a vertex"), std::string::npos) << ed.error;
+}
+
+TEST(SymbolicViolations, SampledReplayCatchesGraphDisagreement) {
+  // Force the sampler to expand everything, then lie about an edge by
+  // making the validator see a *sparser* spec than the producer used.
+  const auto produce_spec = SparseHypercubeSpec::construct_base(10, 3);
+  const auto sym = make_symbolic_broadcast_schedule(produce_spec, 0);
+  const auto check_spec = SparseHypercubeSpec::construct(
+      10, {3}, {lemma2_labeling(3)});
+  // Same spec shape: instead lie by validating against different cuts.
+  const auto other = SparseHypercubeSpec::construct_base(10, 4);
+  const SpecView view(other);
+  ValidationOptions opt;
+  opt.k = 4;  // roomy k so length checks don't fire first
+  SymbolicCheckOptions sopt;
+  sopt.sample_groups_per_round = 64;
+  sopt.sample_calls_per_group = 64;
+  const auto rep = validate_broadcast_symbolic(view, sym, opt, sopt);
+  EXPECT_FALSE(rep.ok) << "routes of construct_base(10,3) are not edges of "
+                          "construct_base(10,4)";
+  (void)check_spec;
+}
+
+TEST(SymbolicStats, GroupCompressionIsPolynomialWhileCallsAreExponential) {
+  // n = 24, k = 2: 2^24 - 1 calls out of ~5k groups.
+  const auto spec = design_sparse_hypercube(24, 2);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  const auto cert = certify_broadcast_symbolic(spec, 0, opt);
+  ASSERT_TRUE(cert.report.ok) << cert.report.error;
+  EXPECT_EQ(cert.report.total_calls, cube_order(24) - 1);
+  EXPECT_LT(cert.checks.groups, 100000u);
+  EXPECT_LT(cert.checks.peak_frontier_subcubes, 20000u);
+  EXPECT_EQ(cert.producer.final_frontier_subcubes,
+            cert.checks.final_frontier_subcubes);
+}
+
+}  // namespace
+}  // namespace shc
