@@ -200,6 +200,58 @@ BENCHMARK(BM_SymbolicCertify)
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
 
+/// The symbolic gossip engine's acceptance rows: certify gather-
+/// broadcast all-to-all exchange far past the exact validator's 2^13
+/// wall — n = 40 is 2^41 - 2 exchanges certified in minutes on one
+/// core, a regime the N^2-bit exact tracker cannot touch at any cost.
+/// Spec policy is symbolic_showcase_spec, shared with BM_SymbolicCertify
+/// and shc_sweep so every recorded artifact measures the same graphs.
+/// The gate enforces completion, the exact 2n round count, and the
+/// exact 2 * (2^n - 1) exchange count.
+void BM_SymbolicGossip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = symbolic_showcase_spec(n, 2);
+  SymbolicGossipCertification cert;
+  for (auto _ : state) {
+    cert = certify_gossip_symbolic(spec, 0);
+    if (!cert.report.ok || !cert.report.complete) {
+      std::cout << "FAIL: symbolic gossip n=" << n
+                << " did not certify completion: " << cert.report.error << "\n";
+      std::exit(1);
+    }
+    if (cert.report.rounds != 2 * n ||
+        cert.report.total_exchanges != 2 * (cube_order(n) - 1)) {
+      std::cout << "FAIL: symbolic gossip n=" << n << " certified "
+                << cert.report.rounds << " rounds / "
+                << cert.report.total_exchanges << " exchanges, expected "
+                << 2 * n << " / 2 * (2^" << n << " - 1)\n";
+      std::exit(1);
+    }
+  }
+  state.counters["exchanges"] = static_cast<double>(cert.report.total_exchanges);
+  state.counters["groups"] = static_cast<double>(cert.checks.groups);
+  state.counters["peak_classes"] =
+      static_cast<double>(cert.checks.classes.peak_classes);
+  state.counters["peak_knowledge_subcubes"] =
+      static_cast<double>(cert.checks.classes.peak_knowledge_subcubes);
+  state.counters["unions"] =
+      static_cast<double>(cert.checks.classes.unions_computed);
+  state.counters["union_cache_hits"] =
+      static_cast<double>(cert.checks.classes.union_cache_hits);
+  state.counters["collision_candidates"] =
+      static_cast<double>(cert.checks.collision_candidates);
+  state.counters["sampled_calls"] =
+      static_cast<double>(cert.checks.sampled_calls);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cert.checks.groups));
+}
+BENCHMARK(BM_SymbolicGossip)
+    ->Arg(26)
+    ->Arg(33)
+    ->Arg(40)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
 void BM_FlatScheduleConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto spec = design_sparse_hypercube(n, 2);

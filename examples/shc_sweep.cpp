@@ -9,6 +9,7 @@
 //
 // Usage:
 //   shc_sweep [--threads T] [--out PATH] [--max-n N] [--big N] [--symbolic N]
+//             [--gossip N]
 //
 //   --threads T   scenario workers (default: hardware concurrency)
 //   --out PATH    write JSON lines to PATH instead of stdout
@@ -17,6 +18,9 @@
 //                 (e.g. --big 30; needs RAM for the 2^N frontier)
 //   --symbolic N  append one symbolic-engine k=2 scenario at n=N
 //                 (n <= 63; memory polynomial in n — no 2^N anything)
+//   --gossip N    append one symbolic gather-broadcast gossip scenario
+//                 at n=N (n <= 63; all-to-all exchange certified past
+//                 the exact validator's 2^13 wall)
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -41,6 +45,7 @@ struct Scenario {
   bool vertex_disjoint = false;
   bool analyze_congestion_stats = false;  // materialize + edge-load stats
   bool symbolic = false;                  // subcube engine instead of streaming
+  bool gossip = false;                    // symbolic gather-broadcast gossip
   int inner_threads = 1;                  // workers inside the validator
 };
 
@@ -95,7 +100,47 @@ std::string run_symbolic_scenario(const Scenario& sc) {
   return os.str();
 }
 
+/// One symbolic-gossip row: gather-broadcast all-to-all exchange on the
+/// shared showcase spec, certified entirely on the class/knowledge
+/// algebra.  The row records the knowledge-partition sizes — the
+/// compressed stand-in for the exact validator's N^2 bits.
+std::string run_gossip_scenario(const Scenario& sc) {
+  const auto spec = symbolic_showcase_spec(sc.n, sc.k);
+
+  const auto start = std::chrono::steady_clock::now();
+  const SymbolicGossipCertification cert = certify_gossip_symbolic(spec, 0);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::ostringstream os;
+  os << "{\"engine\":\"symbolic-gossip\",\"n\":" << sc.n << ",\"k\":" << spec.k()
+     << ",\"cuts\":[";
+  for (std::size_t i = 0; i < spec.cuts().size(); ++i) {
+    os << (i ? "," : "") << spec.cuts()[i];
+  }
+  os << "],\"ok\":" << (cert.report.ok ? "true" : "false")
+     << ",\"complete\":" << (cert.report.complete ? "true" : "false")
+     << ",\"rounds\":" << cert.report.rounds
+     << ",\"exchanges\":" << cert.report.total_exchanges
+     << ",\"max_call_length\":" << cert.report.max_call_length
+     << ",\"groups\":" << cert.checks.groups
+     << ",\"peak_classes\":" << cert.checks.classes.peak_classes
+     << ",\"peak_knowledge_subcubes\":"
+     << cert.checks.classes.peak_knowledge_subcubes
+     << ",\"unions\":" << cert.checks.classes.unions_computed
+     << ",\"collision_candidates\":" << cert.checks.collision_candidates
+     << ",\"sampled_calls\":" << cert.checks.sampled_calls
+     << ",\"seconds\":" << seconds;
+  if (!cert.report.ok) {
+    os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
 std::string run_scenario(const Scenario& sc) {
+  if (sc.gossip) return run_gossip_scenario(sc);
   if (sc.symbolic) return run_symbolic_scenario(sc);
   const auto spec = design_sparse_hypercube(sc.n, sc.k);
   ValidationOptions opt;
@@ -164,6 +209,7 @@ int main(int argc, char** argv) {
   int max_n = 16;
   int big_n = 0;
   int symbolic_n = 0;
+  int gossip_n = 0;
   std::string out_path;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -173,9 +219,11 @@ int main(int argc, char** argv) {
     else if (arg == "--big" && a + 1 < argc) big_n = parse_int_or_die(argv[++a]);
     else if (arg == "--symbolic" && a + 1 < argc) {
       symbolic_n = parse_int_or_die(argv[++a]);
+    } else if (arg == "--gossip" && a + 1 < argc) {
+      gossip_n = parse_int_or_die(argv[++a]);
     } else {
       std::cerr << "usage: shc_sweep [--threads T] [--out PATH] [--max-n N] "
-                   "[--big N] [--symbolic N]\n";
+                   "[--big N] [--symbolic N] [--gossip N]\n";
       return 2;
     }
   }
@@ -185,8 +233,8 @@ int main(int argc, char** argv) {
                  "n <= 63\n";
     return 2;
   }
-  if (symbolic_n > kMaxCubeDim) {
-    std::cerr << "shc_sweep: --symbolic n is capped at " << kMaxCubeDim
+  if (symbolic_n > kMaxCubeDim || gossip_n > kMaxCubeDim) {
+    std::cerr << "shc_sweep: --symbolic/--gossip n is capped at " << kMaxCubeDim
               << " (the vertex representation limit)\n";
     return 2;
   }
@@ -283,6 +331,19 @@ int main(int argc, char** argv) {
       emit(run_scenario(sc));
     } catch (const std::exception& e) {
       emit("{\"engine\":\"symbolic\",\"n\":" + std::to_string(symbolic_n) +
+           ",\"ok\":false,\"error\":\"" + json_escape(e.what()) + "\"}");
+    }
+    ++emitted;
+  }
+  if (gossip_n > 0) {
+    Scenario sc;
+    sc.n = gossip_n;
+    sc.k = 2;
+    sc.gossip = true;
+    try {
+      emit(run_scenario(sc));
+    } catch (const std::exception& e) {
+      emit("{\"engine\":\"symbolic-gossip\",\"n\":" + std::to_string(gossip_n) +
            ",\"ok\":false,\"error\":\"" + json_escape(e.what()) + "\"}");
     }
     ++emitted;

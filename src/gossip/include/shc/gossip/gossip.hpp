@@ -49,10 +49,21 @@ struct GossipReport {
   bool minimum_time = false;  ///< complete in exactly ceil(log2 N) rounds
   int max_call_length = 0;
 
+  /// Exchanges (calls) across all rounds.  Explicitly 64-bit: the
+  /// symbolic gossip engine certifies schedules of up to 2^64 - 2
+  /// exchanges and refuses with an explicit error beyond that, rather
+  /// than wrapping.
+  std::uint64_t total_exchanges = 0;
+
   /// 0 for the exact validator.  For validate_gossip_sampled: how many
   /// token columns were tracked — `complete` then means "every sampled
   /// token reached every vertex", a spot check, not a proof.
   std::uint64_t sampled_tokens = 0;
+
+  /// Bit-for-bit comparability: the symbolic gossip validator is
+  /// required (and tested) to reproduce the exact validator's report on
+  /// the shared range, including clean-run counters.
+  friend bool operator==(const GossipReport&, const GossipReport&) = default;
 };
 
 namespace detail {
@@ -106,7 +117,7 @@ class KnowledgeMatrix {
 template <class Net>
 [[nodiscard]] std::string check_gossip_round_structure(
     const Net& net, const FlatSchedule::RoundView& round, int k,
-    int round_number, int& max_call_length,
+    int round_number, int& max_call_length, std::uint64_t& total_exchanges,
     std::unordered_set<EdgeKey, EdgeKeyHash>& round_edges,
     std::unordered_set<Vertex>& round_endpoints) {
   const std::uint64_t order = net.num_vertices();
@@ -116,6 +127,7 @@ template <class Net>
   for (const FlatSchedule::CallView call : round) {
     if (call.size() < 2) return where + "empty or zero-length exchange";
     max_call_length = std::max(max_call_length, call.length());
+    ++total_exchanges;
     if (call.length() > k) {
       return where + "exchange longer than k=" + std::to_string(k);
     }
@@ -188,7 +200,8 @@ template <AdjacencyOracle Net>
     ++rep.rounds;
     const FlatSchedule::RoundView round = schedule.round(t);
     std::string err = detail::check_gossip_round_structure(
-        net, round, k, t + 1, rep.max_call_length, round_edges, round_endpoints);
+        net, round, k, t + 1, rep.max_call_length, rep.total_exchanges,
+        round_edges, round_endpoints);
     if (!err.empty()) return fail(std::move(err));
     // Exchanges resolve simultaneously; endpoint-uniqueness makes the
     // application order irrelevant.
@@ -261,7 +274,8 @@ template <AdjacencyOracle Net>
     ++rep.rounds;
     const FlatSchedule::RoundView round = schedule.round(t);
     std::string err = detail::check_gossip_round_structure(
-        net, round, k, t + 1, rep.max_call_length, round_edges, round_endpoints);
+        net, round, k, t + 1, rep.max_call_length, rep.total_exchanges,
+        round_edges, round_endpoints);
     if (!err.empty()) return fail(std::move(err));
     for (const FlatSchedule::CallView call : round) {
       const Vertex a = call.caller();
@@ -293,15 +307,20 @@ template <AdjacencyOracle Net>
 
 /// Dimension-exchange gossip on the full Q_n: round t pairs every vertex
 /// with its neighbor across dimension n-t+1.  n rounds, k = 1, optimal.
-/// Pre: 1 <= n <= 13.
+/// Materializes n * 2^(n-1) concrete exchanges; throws
+/// std::invalid_argument unless 1 <= n <= 28 (the flat engine's sane
+/// range — beyond it, produce symbolically with
+/// hypercube_exchange_gossip_symbolic, which admits n <= 63).
 [[nodiscard]] GossipSchedule hypercube_exchange_gossip(int n);
 
 /// Gather-then-broadcast gossip on a sparse hypercube: the Broadcast_k
 /// schedule from `root` is replayed backwards (leaf calls first) to
 /// accumulate every token at `root`, then forwards to disseminate.
-/// 2n rounds, calls of length <= spec.k().  Pre: spec.n() <= 20 (the
-/// exact validator stops at 2^13 vertices; beyond that, spot-check with
-/// validate_gossip_sampled).
+/// 2n rounds, calls of length <= spec.k().  Materializes 2 * (2^n - 1)
+/// concrete exchanges; throws std::invalid_argument unless
+/// spec.n() <= 20 (the exact validator stops at 2^13 vertices anyway —
+/// beyond the wall, certify symbolically with certify_gossip_symbolic
+/// or spot-check with validate_gossip_sampled).
 [[nodiscard]] GossipSchedule sparse_gather_broadcast_gossip(
     const SparseHypercubeSpec& spec, Vertex root);
 

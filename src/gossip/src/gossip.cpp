@@ -1,11 +1,20 @@
 #include "shc/gossip/gossip.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace shc {
 
 GossipSchedule hypercube_exchange_gossip(int n) {
-  assert(n >= 1 && n <= 13);
+  // Explicit guard, not an assert: in Release an oversized n would
+  // silently build (or fail to allocate) n * 2^(n-1) concrete calls.
+  if (n < 1 || n > 28) {
+    throw std::invalid_argument(
+        "hypercube_exchange_gossip materializes n * 2^(n-1) concrete "
+        "exchanges; n must be in [1, 28] — use "
+        "hypercube_exchange_gossip_symbolic (shc/gossip/symbolic_gossip.hpp) "
+        "for the subcube-batched form up to n <= 63");
+  }
   GossipSchedule schedule;
   const std::uint64_t matching = cube_order(n - 1);
   schedule.reserve(static_cast<std::size_t>(n), static_cast<std::size_t>(n) * matching,
@@ -22,7 +31,13 @@ GossipSchedule hypercube_exchange_gossip(int n) {
 
 GossipSchedule sparse_gather_broadcast_gossip(const SparseHypercubeSpec& spec,
                                               Vertex root) {
-  assert(spec.n() <= 20 && "2 x 2^n flat calls are materialized");
+  if (spec.n() > 20) {
+    throw std::invalid_argument(
+        "sparse_gather_broadcast_gossip materializes 2 * (2^n - 1) concrete "
+        "exchanges; n must be <= 20 — use certify_gossip_symbolic "
+        "(shc/gossip/symbolic_gossip.hpp) to certify the subcube-batched "
+        "form up to n <= 63");
+  }
   const FlatSchedule forward = make_broadcast_schedule(spec, root);
 
   GossipSchedule schedule;

@@ -1,0 +1,92 @@
+#include "shc/gossip/symbolic_gossip.hpp"
+
+#include <stdexcept>
+
+namespace shc {
+
+SymbolicSchedule hypercube_exchange_gossip_symbolic(int n) {
+  if (n < 1 || n > kMaxCubeDim) {
+    throw std::invalid_argument(
+        "hypercube_exchange_gossip_symbolic requires 1 <= n <= " +
+        std::to_string(kMaxCubeDim));
+  }
+  SymbolicScheduleBuilder builder(0, n);
+  for (Dim i = n; i >= 1; --i) {
+    builder.begin_round();
+    CallGroup g;
+    g.prefix = 0;  // coordinate i pinned to 0: the lower endpoint calls
+    g.free_mask = mask_low(n) & ~dim_bit(i);
+    g.count = cube_order(n - 1);
+    const Vertex pattern[2] = {0, dim_bit(i)};
+    builder.end_call_group(g, pattern);
+    builder.end_round();
+  }
+  return std::move(builder).take();
+}
+
+SymbolicSchedule make_symbolic_gossip_schedule(const SparseHypercubeSpec& spec,
+                                               Vertex root) {
+  const SymbolicSchedule forward = make_symbolic_broadcast_schedule(spec, root);
+  SymbolicScheduleBuilder builder(root, spec.n());
+  emit_gather_broadcast_gossip_symbolic(forward, builder);
+  return std::move(builder).take();
+}
+
+SymbolicGossipCertification certify_gossip_symbolic(
+    const SparseHypercubeSpec& spec, Vertex root,
+    const SymbolicGossipOptions& sopt) {
+  SymbolicGossipCertification cert;
+  if (root >= spec.num_vertices()) {
+    // Same report the exact validators would give for a bad schedule
+    // source; guarded here so the producer's throw never preempts it.
+    cert.report.ok = false;
+    cert.report.error = "source out of range";
+    return cert;
+  }
+  const SpecView view(spec);
+  SymbolicGossipValidator<SpecView> sink(view, spec.k(), sopt);
+  try {
+    const SymbolicSchedule forward = make_symbolic_broadcast_schedule(spec, root);
+    emit_gather_broadcast_gossip_symbolic(forward, sink);
+  } catch (const std::exception& e) {
+    cert.checks = sink.stats();
+    if (!sink.aborted()) {
+      // Producer-side failure (frontier caps, pathological splits):
+      // surface it as a failed report rather than an escaped exception.
+      cert.report.ok = false;
+      cert.report.error = std::string("symbolic producer: ") + e.what();
+      return cert;
+    }
+    // The sink failed first and the producer tripped over the abort —
+    // fall through to the sink's own report.
+  }
+  cert.report = sink.finish();
+  cert.checks = sink.stats();
+  return cert;
+}
+
+SymbolicGossipCertification certify_exchange_gossip_symbolic(
+    int n, const SymbolicGossipOptions& sopt) {
+  SymbolicGossipCertification cert;
+  if (n < 1 || n > kMaxCubeDim) {
+    cert.report.ok = false;
+    cert.report.error = "cube dimension out of range";
+    return cert;
+  }
+  const CubeOracle oracle(n);
+  SymbolicGossipValidator<CubeOracle> sink(oracle, /*k=*/1, sopt);
+  const SymbolicSchedule schedule = hypercube_exchange_gossip_symbolic(n);
+  for (const SymbolicRound& round : schedule.rounds) {
+    if (sink.aborted()) break;
+    sink.begin_round();
+    for (std::size_t g = 0; g < round.groups.size(); ++g) {
+      sink.end_call_group(round.groups[g], round.pattern_of_group(g));
+    }
+    sink.end_round();
+  }
+  cert.report = sink.finish();
+  cert.checks = sink.stats();
+  return cert;
+}
+
+}  // namespace shc

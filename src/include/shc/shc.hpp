@@ -18,6 +18,7 @@
 #include "shc/coding/gf2.hpp"
 #include "shc/coding/hamming.hpp"
 #include "shc/gossip/gossip.hpp"
+#include "shc/gossip/symbolic_gossip.hpp"
 #include "shc/labeling/domatic.hpp"
 #include "shc/labeling/labeling.hpp"
 #include "shc/mlbg/analysis.hpp"
@@ -28,6 +29,7 @@
 #include "shc/mlbg/symbolic_broadcast.hpp"
 #include "shc/sim/congestion.hpp"
 #include "shc/sim/flat_schedule.hpp"
+#include "shc/sim/knowledge_classes.hpp"
 #include "shc/sim/network.hpp"
 #include "shc/sim/round_sink.hpp"
 #include "shc/sim/schedule.hpp"

@@ -42,6 +42,27 @@ class GraphView final : public NetworkView {
   const Graph& g_;
 };
 
+/// Non-virtual implicit oracle of the full binary n-cube Q_n — the
+/// devirtualized counterpart of HypercubeView, and the full cube's
+/// answer to SpecView: every dimension's edge predicate is
+/// constant-true with an empty support mask, so it satisfies both the
+/// AdjacencyOracle and the symbolic engines' SymbolicOracle concepts.
+class CubeOracle {
+ public:
+  explicit CubeOracle(int n) : n_(n) {}
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept { return cube_order(n_); }
+  [[nodiscard]] int cube_dim() const noexcept { return n_; }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept {
+    return cube_adjacent(u, v);
+  }
+  [[nodiscard]] bool has_edge_dim(Vertex, Dim) const noexcept { return true; }
+  [[nodiscard]] Vertex dim_support_mask(Dim) const noexcept { return 0; }
+
+ private:
+  int n_;
+};
+
 /// NetworkView of the full binary n-cube Q_n (implicit, n <= 63).
 class HypercubeView final : public NetworkView {
  public:

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -358,6 +359,29 @@ class SubcubeFrontier {
       --entries_;
       if (it->second.empty()) classes_.erase(it);
     }
+    return true;
+  }
+
+  /// take() without the erase: deducts `v` but leaves the (possibly
+  /// zero-valued) entry in place, so the table structure never mutates.
+  /// This is what makes the parallel caller-tiling sweep race-free: the
+  /// structure is read-only and the value deduction is a CAS loop, so
+  /// even when two workers' entries descend to the *same* key (possible
+  /// only for malformed schedules whose frontier entries overlap) the
+  /// outcome is a correct lost-nothing decrement, not a data race.
+  /// Callers scan for nonzero leftovers afterwards and clear() for the
+  /// next round.
+  [[nodiscard]] bool consume(Vertex p, Vertex M, std::uint64_t v) {
+    auto it = classes_.find(M);
+    if (it == classes_.end()) return false;
+    std::uint64_t* cur = it->second.find(p);
+    if (!cur) return false;
+    std::atomic_ref<std::uint64_t> slot(*cur);
+    std::uint64_t have = slot.load(std::memory_order_relaxed);
+    do {
+      if (have < v) return false;
+    } while (!slot.compare_exchange_weak(have, have - v,
+                                         std::memory_order_relaxed));
     return true;
   }
 

@@ -43,12 +43,16 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <concepts>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <random>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "shc/bits/bitstring.hpp"
@@ -56,6 +60,7 @@
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/symbolic_schedule.hpp"
 #include "shc/sim/validator.hpp"
+#include "shc/sim/worker_pool.hpp"
 
 namespace shc {
 
@@ -71,6 +76,172 @@ concept SymbolicOracle = requires(const Net& net, Vertex u, Vertex v, Dim i) {
   { net.has_edge_dim(u, i) } -> std::convertible_to<bool>;
   { net.dim_support_mask(i) } -> std::convertible_to<Vertex>;
 };
+
+namespace detail {
+
+/// Shared structural clauses for one symbolic call group — used by both
+/// the broadcast and gossip symbolic validators, so a hardening fix
+/// cannot silently miss one engine.  Checks the group shape
+/// (prefix/mask disjointness, range, count == subcube size), pattern
+/// well-formedness (starts at the caller, single-dimension hops,
+/// length <= k, no edge reused within the call), the support
+/// discipline (the group's free dims must avoid every hop predicate's
+/// support mask, so the representative's verdict is the whole group's),
+/// representative edge existence, and — under `vertex_disjoint` — the
+/// intra-call vertex revisit ban.  Returns the error message (without
+/// the round prefix) or empty; on success sets `span_mask` (union of
+/// the pattern's offsets) and `length`.
+template <class Net>
+[[nodiscard]] std::string check_symbolic_call_group(
+    const Net& net, int n, int k, bool vertex_disjoint, const CallGroup& g,
+    std::span<const Vertex> pattern, Vertex& span_mask, int& length) {
+  const Vertex cube = mask_low(n);
+  if (g.count == 0) return "empty call group";
+  if ((g.prefix & g.free_mask) != 0) {
+    return "group prefix sets bits inside its free mask";
+  }
+  if ((g.prefix | g.free_mask) & ~cube) {
+    return "group subcube out of range";
+  }
+  std::uint64_t expect = 0;
+  if (!checked_shift_u64(static_cast<unsigned>(weight(g.free_mask)), expect) ||
+      g.count != expect) {
+    return "group count " + std::to_string(g.count) +
+           " does not equal its subcube size (multiplicity accounting)";
+  }
+  if (pattern.size() < 2) {
+    return "empty or zero-length call pattern";
+  }
+  if (pattern[0] != 0) {
+    return "call pattern does not start at the caller";
+  }
+  length = static_cast<int>(pattern.size()) - 1;
+  if (length > k) {
+    return "call pattern has length " + std::to_string(length) +
+           " > k=" + std::to_string(k);
+  }
+
+  span_mask = 0;
+  for (std::size_t j = 0; j + 1 < pattern.size(); ++j) {
+    const Vertex diff = pattern[j] ^ pattern[j + 1];
+    if (weight(diff) != 1 || (diff & ~cube)) {
+      return "pattern hop is not a single in-range dimension flip";
+    }
+    span_mask |= pattern[j + 1];
+    const Dim d = differing_dim(pattern[j], pattern[j + 1]);
+    // Support discipline: the hop's edge predicate must be uniform
+    // over the group, i.e. blind to every free dimension.
+    const Vertex support = net.dim_support_mask(d);
+    if (g.free_mask & (support | diff)) {
+      return "group free dims intersect a hop's support — "
+             "the producer must split this subcube further";
+    }
+    const Vertex at = g.prefix ^ pattern[j];
+    if (!net.has_edge_dim(at, d)) {
+      return "no edge for dimension " + std::to_string(d) +
+             " at representative " + std::to_string(at);
+    }
+    // A call may not reuse an edge within its own path (capacity 1).
+    for (std::size_t l = 0; l < j; ++l) {
+      const Vertex ldiff = pattern[l] ^ pattern[l + 1];
+      if (weight(ldiff) == 1 && ldiff == diff &&
+          (pattern[l] & ~diff) == (pattern[j] & ~diff)) {
+        return "call pattern reuses an edge within its own path";
+      }
+    }
+  }
+  if (vertex_disjoint) {
+    // The serial kernel's touched-set rejects a call revisiting one of
+    // its own vertices (legal in the edge-disjoint model, where only
+    // edge reuse is banned); mirror that here or the parity claim
+    // breaks on cycle-walking patterns.
+    for (std::size_t j = 0; j < pattern.size(); ++j) {
+      for (std::size_t l = 0; l < j; ++l) {
+        if (pattern[l] == pattern[j]) {
+          return "call pattern revisits a vertex (vertex-disjoint model)";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+/// Exact route-pattern collision analysis for one candidate pair of
+/// concurrent call groups: per-hop edge-subcube intersection on shared
+/// dimensions, plus vertex-subcube intersection under the
+/// vertex-disjoint model.  Returns the error message or empty.
+[[nodiscard]] inline std::string symbolic_pair_collision_msg(
+    const CallGroup& ga, std::span<const Vertex> pa, const CallGroup& gb,
+    std::span<const Vertex> pb, bool vertex_disjoint) {
+  for (std::size_t i = 0; i + 1 < pa.size(); ++i) {
+    const Vertex da = pa[i] ^ pa[i + 1];
+    const Subcube ea{(ga.prefix ^ pa[i]) & ~da, ga.free_mask};
+    for (std::size_t j = 0; j + 1 < pb.size(); ++j) {
+      const Vertex db = pb[j] ^ pb[j + 1];
+      if (da != db) continue;
+      const Subcube eb{(gb.prefix ^ pb[j]) & ~db, gb.free_mask};
+      if (subcubes_overlap(ea, eb)) {
+        return "edge collision between concurrent call groups";
+      }
+    }
+  }
+  if (vertex_disjoint) {
+    for (const Vertex xa : pa) {
+      const Subcube va{ga.prefix ^ xa, ga.free_mask};
+      for (const Vertex xb : pb) {
+        const Subcube vb{gb.prefix ^ xb, gb.free_mask};
+        if (subcubes_overlap(va, vb)) {
+          return "vertex collision between concurrent call groups "
+                 "(vertex-disjoint model)";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+/// Runs fn(i) -> error-or-empty for every i in [0, count), inline or
+/// sharded across `pool`, and returns the failure with the *smallest*
+/// index — the verdict the serial loop produces, independent of thread
+/// count.  fn must be safe to call concurrently (the symbolic
+/// validators' per-candidate analyses are read-only).
+template <class Fn>
+[[nodiscard]] std::optional<std::pair<std::size_t, std::string>> first_failure(
+    WorkerPool* pool, std::size_t count, Fn&& fn) {
+  if (pool == nullptr || pool->workers() <= 1 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string msg = fn(i);
+      if (!msg.empty()) return std::make_pair(i, std::move(msg));
+    }
+    return std::nullopt;
+  }
+  const int jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(pool->workers()), count));
+  std::vector<std::pair<std::size_t, std::string>> local(
+      static_cast<std::size_t>(jobs), {count, std::string{}});
+  pool->run(jobs, [&](int j) {
+    const std::size_t lo = count * static_cast<std::size_t>(j) /
+                           static_cast<std::size_t>(jobs);
+    const std::size_t hi = count * (static_cast<std::size_t>(j) + 1) /
+                           static_cast<std::size_t>(jobs);
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::string msg = fn(i);
+      if (!msg.empty()) {
+        local[static_cast<std::size_t>(j)] = {i, std::move(msg)};
+        break;
+      }
+    }
+  });
+  std::optional<std::pair<std::size_t, std::string>> best;
+  for (auto& entry : local) {
+    if (entry.first < count && (!best || entry.first < best->first)) {
+      best = std::move(entry);
+    }
+  }
+  return best;
+}
+
+}  // namespace detail
 
 /// Knobs of the symbolic checks (all have safe defaults; caps make the
 /// engine fail explicitly instead of thrashing on adversarial input).
@@ -90,6 +261,14 @@ struct SymbolicCheckOptions {
   std::size_t max_collision_pairs = std::size_t{1} << 16;
   /// Node budget of the endgame canonical reduction.
   std::uint64_t reduce_budget = std::uint64_t{1} << 26;
+
+  /// Workers for the per-round group checks (collision-candidate
+  /// analysis and caller-tiling consumption) — they shard over a
+  /// persistent WorkerPool.  1 (the default) runs fully inline.  The
+  /// verdict, report, and error strings are thread-count independent:
+  /// per-entry budgets are deterministic and the failure with the
+  /// smallest candidate index wins, exactly as the serial loop picks it.
+  int threads = 1;
 };
 
 /// Group/expansion statistics of one symbolic run.
@@ -116,6 +295,7 @@ class SymbolicBroadcastValidator {
         frontier_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
         ledger_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
         rng_(sopt.sample_seed) {
+    if (sopt.threads > 1) pool_ = std::make_unique<WorkerPool>(sopt.threads);
     if (n_ < 1 || n_ > kMaxCubeDim || order_ != cube_order(n_)) {
       fail("symbolic validator requires a full 2^n-vertex cube oracle");
       return;
@@ -149,75 +329,14 @@ class SymbolicBroadcastValidator {
   void end_call_group(const CallGroup& g, std::span<const Vertex> pattern) {
     if (failed_) return;
     const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
-    const Vertex cube = mask_low(n_);
-
-    if (g.count == 0) return fail(where + "empty call group");
-    if ((g.prefix & g.free_mask) != 0) {
-      return fail(where + "group prefix sets bits inside its free mask");
-    }
-    if ((g.prefix | g.free_mask) & ~cube) {
-      return fail(where + "group subcube out of range");
-    }
-    std::uint64_t expect = 0;
-    if (!checked_shift_u64(static_cast<unsigned>(weight(g.free_mask)), expect) ||
-        g.count != expect) {
-      return fail(where + "group count " + std::to_string(g.count) +
-                  " does not equal its subcube size (multiplicity accounting)");
-    }
-    if (pattern.size() < 2) {
-      return fail(where + "empty or zero-length call pattern");
-    }
-    if (pattern[0] != 0) {
-      return fail(where + "call pattern does not start at the caller");
-    }
-    const int length = static_cast<int>(pattern.size()) - 1;
-    if (length > opt_.k) {
-      return fail(where + "call pattern has length " + std::to_string(length) +
-                  " > k=" + std::to_string(opt_.k));
-    }
 
     Vertex span_mask = 0;
-    for (std::size_t j = 0; j + 1 < pattern.size(); ++j) {
-      const Vertex diff = pattern[j] ^ pattern[j + 1];
-      if (weight(diff) != 1 || (diff & ~cube)) {
-        return fail(where + "pattern hop is not a single in-range dimension flip");
-      }
-      span_mask |= pattern[j + 1];
-      const Dim d = differing_dim(pattern[j], pattern[j + 1]);
-      // Support discipline: the hop's edge predicate must be uniform
-      // over the group, i.e. blind to every free dimension.
-      const Vertex support = net_->dim_support_mask(d);
-      if (g.free_mask & (support | diff)) {
-        return fail(where + "group free dims intersect a hop's support — "
-                    "the producer must split this subcube further");
-      }
-      const Vertex at = g.prefix ^ pattern[j];
-      if (!net_->has_edge_dim(at, d)) {
-        return fail(where + "no edge for dimension " + std::to_string(d) +
-                    " at representative " + std::to_string(at));
-      }
-      // A call may not reuse an edge within its own path (capacity 1).
-      for (std::size_t l = 0; l < j; ++l) {
-        const Vertex ldiff = pattern[l] ^ pattern[l + 1];
-        if (weight(ldiff) == 1 && ldiff == diff &&
-            (pattern[l] & ~diff) == (pattern[j] & ~diff)) {
-          return fail(where + "call pattern reuses an edge within its own path");
-        }
-      }
-    }
-    if (opt_.require_vertex_disjoint) {
-      // The serial kernel's touched-set rejects a call revisiting one of
-      // its own vertices (legal in the edge-disjoint model, where only
-      // edge reuse is banned); mirror that here or the parity claim
-      // breaks on cycle-walking patterns.
-      for (std::size_t j = 0; j < pattern.size(); ++j) {
-        for (std::size_t l = 0; l < j; ++l) {
-          if (pattern[l] == pattern[j]) {
-            return fail(where + "call pattern revisits a vertex "
-                                "(vertex-disjoint model)");
-          }
-        }
-      }
+    int length = 0;
+    if (std::string msg = detail::check_symbolic_call_group(
+            *net_, n_, opt_.k, opt_.require_vertex_disjoint, g, pattern,
+            span_mask, length);
+        !msg.empty()) {
+      return fail(where + msg);
     }
     // Note: free_mask is already provably disjoint from span_mask here —
     // every pattern bit lives in some hop's diff, and each hop failed
@@ -333,33 +452,77 @@ class SymbolicBroadcastValidator {
   /// Every informed vertex must place exactly one call: consume the
   /// round's group ledger by recursively matching each frontier entry
   /// against its dyadic split pieces; both sides must come out empty.
+  /// Frontier entries are disjoint subcubes, so their dyadic pieces hit
+  /// disjoint ledger keys — sharding entries across the pool is
+  /// race-free (ledger_.consume never mutates the table structure) and
+  /// the per-entry budget keeps the verdict thread-count independent.
   bool check_caller_tiling(const std::string& where) {
-    // The frontier is iterated over a snapshot (consume only mutates the
-    // round-local ledger).
-    bool ok = true;
-    std::uint64_t budget = static_cast<std::uint64_t>(round_.groups.size()) * 4 + 65536;
-    auto consume = [&](auto&& self, Vertex p, Vertex m) -> bool {
-      if (budget == 0) return false;
-      --budget;
-      std::uint64_t calls = 0;
-      if (!checked_shift_u64(static_cast<unsigned>(weight(m)), calls)) return false;
-      if (ledger_.take(p, m, calls)) return true;
-      if (m == 0) return false;
-      const Vertex b = m & (~m + 1);  // lowest free bit: splits low-first
-      return self(self, p, m & ~b) && self(self, p | b, m & ~b);
+    std::atomic<bool> mismatch{false};
+    std::atomic<bool> budget_hit{false};
+    const std::uint64_t per_entry_budget =
+        static_cast<std::uint64_t>(round_.groups.size()) * 4 + 65536;
+    auto check_entry = [&](Vertex ep, Vertex em, std::uint64_t mult) {
+      std::uint64_t budget = per_entry_budget;
+      auto consume = [&](auto&& self, Vertex p, Vertex m) -> bool {
+        if (budget == 0) {
+          budget_hit.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        --budget;
+        std::uint64_t calls = 0;
+        if (!checked_shift_u64(static_cast<unsigned>(weight(m)), calls)) return false;
+        if (ledger_.consume(p, m, calls)) return true;
+        if (m == 0) return false;
+        const Vertex b = m & (~m + 1);  // lowest free bit: splits low-first
+        return self(self, p, m & ~b) && self(self, p | b, m & ~b);
+      };
+      if (mult != 1 || !consume(consume, ep, em)) {
+        mismatch.store(true, std::memory_order_relaxed);
+      }
     };
-    frontier_.for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
-      if (!ok) return;
-      if (mult != 1 || !consume(consume, p, m)) ok = false;
+    if (pool_) {
+      // Sharded path: snapshot the frontier and split it across the
+      // pool.  Entries being disjoint subcubes, their dyadic descents
+      // hit disjoint ledger keys (and consume's CAS covers even the
+      // overlapping entries a malformed schedule can produce).
+      const auto entries = frontier_.to_entries();
+      const std::size_t count = entries.size();
+      const int jobs = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(pool_->workers()), std::max<std::size_t>(count, 1)));
+      pool_->run(jobs, [&](int j) {
+        const std::size_t lo = count * static_cast<std::size_t>(j) /
+                               static_cast<std::size_t>(jobs);
+        const std::size_t hi = count * (static_cast<std::size_t>(j) + 1) /
+                               static_cast<std::size_t>(jobs);
+        for (std::size_t i = lo; i < hi; ++i) {
+          check_entry(entries[i].prefix, entries[i].mask, entries[i].mult);
+        }
+      });
+    } else {
+      // Serial path: iterate in place (no snapshot allocation — the
+      // frontier can hold millions of subcubes).  Every entry is
+      // evaluated even after a failure, exactly like the sharded path,
+      // so the budget/mismatch flags — and hence the error string — are
+      // thread-count independent by construction.
+      frontier_.for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
+        check_entry(p, m, mult);
+      });
+    }
+    bool leftover = false;
+    ledger_.for_each([&](Vertex, Vertex, std::uint64_t v) {
+      if (v != 0) leftover = true;
     });
-    if (!ok) {
-      fail(where + (budget == 0
-                        ? "caller tiling budget exceeded"
-                        : "callers do not tile the informed set (some informed "
-                          "vertex places no call)"));
+    ledger_.clear();
+    if (budget_hit.load(std::memory_order_relaxed)) {
+      fail(where + "caller tiling budget exceeded");
       return false;
     }
-    if (!ledger_.empty()) {
+    if (mismatch.load(std::memory_order_relaxed)) {
+      fail(where + "callers do not tile the informed set (some informed "
+                   "vertex places no call)");
+      return false;
+    }
+    if (leftover) {
       fail(where + "caller group outside the informed set (uninformed caller "
                    "or a vertex calling twice)");
       return false;
@@ -368,7 +531,8 @@ class SymbolicBroadcastValidator {
   }
 
   /// Candidate pairs by call-volume disjointness, then exact
-  /// route-pattern collision analysis per candidate.
+  /// route-pattern collision analysis per candidate (sharded across the
+  /// pool; the smallest failing candidate wins, as in the serial loop).
   bool check_collisions(const std::string& where) {
     const auto pairs = find_overlapping_pairs(volumes_, sopt_.collision_budget,
                                               sopt_.max_collision_pairs);
@@ -376,45 +540,17 @@ class SymbolicBroadcastValidator {
       fail(where + "collision analysis exceeded its budget");
       return false;
     }
-    for (const auto& [a, b] : *pairs) {
-      ++stats_.collision_candidates;
-      if (!analyze_pair(where, a, b)) return false;
-    }
-    return true;
-  }
-
-  bool analyze_pair(const std::string& where, std::uint32_t a, std::uint32_t b) {
-    const CallGroup& ga = round_.groups[a];
-    const CallGroup& gb = round_.groups[b];
-    const std::span<const Vertex> pa = pattern_of(a);
-    const std::span<const Vertex> pb = pattern_of(b);
-    // Exact edge-subcube intersection per hop pair on the same dimension.
-    for (std::size_t i = 0; i + 1 < pa.size(); ++i) {
-      const Vertex da = pa[i] ^ pa[i + 1];
-      const Subcube ea{(ga.prefix ^ pa[i]) & ~da, ga.free_mask};
-      for (std::size_t j = 0; j + 1 < pb.size(); ++j) {
-        const Vertex db = pb[j] ^ pb[j + 1];
-        if (da != db) continue;
-        const Subcube eb{(gb.prefix ^ pb[j]) & ~db, gb.free_mask};
-        if (subcubes_overlap(ea, eb)) {
-          fail(where + "edge collision between concurrent call groups");
-          return false;
-        }
-      }
-    }
-    if (opt_.require_vertex_disjoint) {
-      for (const Vertex xa : pa) {
-        const Subcube va{ga.prefix ^ xa, ga.free_mask};
-        for (const Vertex xb : pb) {
-          const Subcube vb{gb.prefix ^ xb, gb.free_mask};
-          if (subcubes_overlap(va, vb)) {
-            fail(where +
-                 "vertex collision between concurrent call groups "
-                 "(vertex-disjoint model)");
-            return false;
-          }
-        }
-      }
+    stats_.collision_candidates += pairs->size();
+    const auto failure = detail::first_failure(
+        pool_.get(), pairs->size(), [&](std::size_t i) {
+          const auto& [a, b] = (*pairs)[i];
+          return detail::symbolic_pair_collision_msg(
+              round_.groups[a], pattern_of(a), round_.groups[b], pattern_of(b),
+              opt_.require_vertex_disjoint);
+        });
+    if (failure) {
+      fail(where + failure->second);
+      return false;
     }
     return true;
   }
@@ -473,6 +609,7 @@ class SymbolicBroadcastValidator {
   SubcubeFrontier frontier_;  ///< informed multiset, cross-round
   SubcubeFrontier ledger_;    ///< round-local caller ledger (raw mode)
   std::mt19937_64 rng_;
+  std::unique_ptr<WorkerPool> pool_;  ///< non-null iff sopt.threads > 1
 
   // Round-local group storage: one recycled SymbolicRound (patterns
   // pooled in its 32-bit-offset layout; no deduplication needed here).

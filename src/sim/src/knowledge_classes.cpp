@@ -1,0 +1,531 @@
+#include "shc/sim/knowledge_classes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <utility>
+
+namespace shc {
+namespace {
+
+/// Sorted canonical entry order: content equality is vector equality.
+void sort_entries(std::vector<WeightedSubcube>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const WeightedSubcube& a, const WeightedSubcube& b) {
+              if (a.mask != b.mask) return a.mask < b.mask;
+              return a.prefix < b.prefix;
+            });
+}
+
+std::uint64_t content_sig(const std::vector<WeightedSubcube>& entries,
+                          std::uint64_t count) {
+  std::uint64_t h = detail::mix_u64(count ^ 0x6b6e6f776c656467ULL);
+  for (const WeightedSubcube& e : entries) {
+    h = detail::mix_u64(h ^ e.prefix);
+    h = detail::mix_u64(h ^ e.mask);
+    h = detail::mix_u64(h ^ e.mult);
+  }
+  return h;
+}
+
+/// region minus a *disjoint* subcube family, in one
+/// divide-on-pinned-dimension sweep (the recursion shape of
+/// canonical_reduce / find_overlapping_pairs): uncovered fragments are
+/// appended to `out` with multiplicity one.  Linear-ish in
+/// |family| x n rather than quadratic in the family size — the
+/// piece-by-piece refinement this replaces blew its budget on rounds
+/// consuming thousands of class fragments.  Returns false on budget
+/// exhaustion.
+bool subtract_recurse(const Subcube& region, std::vector<Subcube> family,
+                      std::uint64_t& budget, std::vector<WeightedSubcube>& out) {
+  if (budget < family.size() + 1) return false;
+  budget -= family.size() + 1;
+  if (family.empty()) {
+    out.push_back({region.prefix, region.mask, 1});
+    return true;
+  }
+  // Disjointness means at most one member can cover the whole region.
+  Vertex pinned_any = 0;
+  for (const Subcube& f : family) {
+    if (subcube_contains(f, region)) return true;  // fully covered
+    pinned_any |= region.mask & ~f.mask;
+  }
+  if (pinned_any == 0) {
+    // Every member spans all remaining free dims yet none contains the
+    // region: they disagree with the region on a pinned dim — no
+    // overlap left (callers prefilter, but recursion can reach this).
+    out.push_back({region.prefix, region.mask, 1});
+    return true;
+  }
+  const int d = 63 - __builtin_clzll(pinned_any);
+  const Vertex b = Vertex{1} << d;
+  const Subcube lo{region.prefix, region.mask & ~b};
+  const Subcube hi{region.prefix | b, region.mask & ~b};
+  std::vector<Subcube> lo_fam, hi_fam;
+  for (const Subcube& f : family) {
+    if (f.mask & b) {
+      lo_fam.push_back(Subcube{f.prefix, f.mask & ~b});
+      hi_fam.push_back(Subcube{f.prefix | b, f.mask & ~b});
+    } else if (f.prefix & b) {
+      hi_fam.push_back(f);
+    } else {
+      lo_fam.push_back(f);
+    }
+  }
+  family.clear();
+  family.shrink_to_fit();
+  return subtract_recurse(lo, std::move(lo_fam), budget, out) &&
+         subtract_recurse(hi, std::move(hi_fam), budget, out);
+}
+
+/// Pieces of `s` not covered by the disjoint canonical cover `cover`,
+/// appended to `out`.  This is the set-union dedup: overlapping
+/// knowledge must not inflate multiplicities (knowledge is a set, the
+/// frontier a multiset).  Returns false on budget exhaustion.
+bool subtract_covered(const Subcube& s,
+                      const std::vector<WeightedSubcube>& cover,
+                      std::uint64_t& budget,
+                      std::vector<WeightedSubcube>& out) {
+  std::vector<Subcube> overlapping;
+  for (const WeightedSubcube& e : cover) {
+    const Subcube c{e.prefix, e.mask};
+    if (subcubes_overlap(s, c)) overlapping.push_back(c);
+  }
+  return subtract_recurse(s, std::move(overlapping), budget, out);
+}
+
+/// One (query, class, piece) overlap: piece = query ∩ a leaf region
+/// fully covered by the class.
+struct OverlapHit {
+  std::uint32_t query = 0;
+  std::uint32_t cls = 0;
+  Subcube piece;
+};
+
+/// Bipartite partition refinement: for a *disjoint* class family tiling
+/// the cube and an arbitrary query family, emits every (query, class)
+/// overlap as leaf pieces, in one divide-on-pinned-dimension sweep over
+/// both families at once.  Replaces per-query index probing, whose
+/// queries x classes product dominated the profile.  A (query, class)
+/// pair may emit as several pieces (when sibling classes force deeper
+/// splits); the pieces tile the overlap exactly, which is all the
+/// refinement step needs — finer classes re-coalesce in the merge pass.
+class PartitionRefiner {
+ public:
+  PartitionRefiner(const std::vector<Subcube>& queries,
+                   const std::vector<Subcube>& classes, std::uint64_t budget)
+      : queries_(queries), classes_(classes), budget_(budget) {}
+
+  /// False on budget exhaustion.  Pre: every class overlaps `region`
+  /// (the partition tiles the cube) and every query lies inside it.
+  [[nodiscard]] bool run(const Subcube& region, std::vector<OverlapHit>& out) {
+    std::vector<std::uint32_t> qs(queries_.size());
+    std::vector<std::uint32_t> cs(classes_.size());
+    for (std::uint32_t i = 0; i < qs.size(); ++i) qs[i] = i;
+    for (std::uint32_t i = 0; i < cs.size(); ++i) cs[i] = i;
+    return recurse(region, std::move(qs), std::move(cs), out);
+  }
+
+ private:
+  // Invariant: every listed query and class overlaps `region`.
+  bool recurse(const Subcube& region, std::vector<std::uint32_t> qs,
+               std::vector<std::uint32_t> cs, std::vector<OverlapHit>& out) {
+    if (qs.empty() || cs.empty()) return true;
+    const std::uint64_t work = qs.size() + cs.size();
+    if (budget_ < work) return false;
+    budget_ -= work;
+
+    Vertex pinned_any = 0;
+    for (const std::uint32_t c : cs) {
+      pinned_any |= region.mask & ~classes_[c].mask;
+    }
+    if (pinned_any == 0 ||
+        (cs.size() == 1 && subcube_contains(classes_[cs[0]], region))) {
+      // A class spanning every remaining free dim while overlapping the
+      // region contains it, and disjointness allows only one such.
+      for (const std::uint32_t q : qs) {
+        out.push_back({q, cs[0], *subcube_intersection(queries_[q], region)});
+      }
+      return true;
+    }
+    const int d = 63 - __builtin_clzll(pinned_any);
+    const Vertex b = Vertex{1} << d;
+    std::vector<std::uint32_t> q_lo, q_hi, c_lo, c_hi;
+    for (const std::uint32_t q : qs) {
+      const Subcube& s = queries_[q];
+      if (s.mask & b) {
+        q_lo.push_back(q);
+        q_hi.push_back(q);
+      } else if (s.prefix & b) {
+        q_hi.push_back(q);
+      } else {
+        q_lo.push_back(q);
+      }
+    }
+    for (const std::uint32_t c : cs) {
+      const Subcube& s = classes_[c];
+      if (s.mask & b) {
+        c_lo.push_back(c);
+        c_hi.push_back(c);
+      } else if (s.prefix & b) {
+        c_hi.push_back(c);
+      } else {
+        c_lo.push_back(c);
+      }
+    }
+    qs.clear();
+    qs.shrink_to_fit();
+    cs.clear();
+    cs.shrink_to_fit();
+    const Subcube lo{region.prefix, region.mask & ~b};
+    const Subcube hi{region.prefix | b, region.mask & ~b};
+    return recurse(lo, std::move(q_lo), std::move(c_lo), out) &&
+           recurse(hi, std::move(q_hi), std::move(c_hi), out);
+  }
+
+  const std::vector<Subcube>& queries_;
+  const std::vector<Subcube>& classes_;
+  std::uint64_t budget_;
+};
+
+/// Entry-wise XOR translate of a knowledge set by `delta`.  Translation
+/// preserves masks, disjointness, canonical structure, and count; only
+/// the sorted order (and hence sig) needs recomputing.  Returns the
+/// input pointer when the translate is the identity (every entry frees
+/// all of delta's bits).
+GossipKnowledgePtr translate_knowledge(const GossipKnowledgePtr& k, Vertex delta) {
+  bool identity = true;
+  for (const WeightedSubcube& e : k->entries) {
+    if ((delta & ~e.mask) != 0) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) return k;
+  auto out = std::make_shared<GossipKnowledge>();
+  out->entries.reserve(k->entries.size());
+  for (const WeightedSubcube& e : k->entries) {
+    out->entries.push_back({(e.prefix ^ delta) & ~e.mask, e.mask, e.mult});
+  }
+  sort_entries(out->entries);
+  out->count = k->count;
+  out->sig = content_sig(out->entries, out->count);
+  return out;
+}
+
+}  // namespace
+
+KnowledgeClassPartition::KnowledgeClassPartition(int n, KnowledgeClassOptions opt)
+    : n_(n), opt_(opt) {
+  assert(n >= 1 && n <= kMaxCubeDim);
+  auto self_only = std::make_shared<GossipKnowledge>();
+  self_only->entries.push_back({0, 0, 1});  // offset 0: every vertex knows itself
+  self_only->count = 1;
+  self_only->sig = content_sig(self_only->entries, self_only->count);
+  classes_.push_back({Subcube{0, mask_low(n)}, std::move(self_only)});
+  refresh_stats();
+}
+
+std::string KnowledgeClassPartition::apply_round(
+    const std::vector<Exchange>& exchanges) {
+  const Vertex cube = mask_low(n_);
+  for (const Exchange& x : exchanges) {
+    if (x.delta == 0) return "exchange delta is zero (self-exchange)";
+    if ((x.callers.prefix & x.callers.mask) != 0) {
+      return "exchange caller prefix overlaps its free mask";
+    }
+    if (((x.callers.prefix | x.callers.mask | x.delta) & ~cube) != 0) {
+      return "exchange out of range";
+    }
+    if ((x.delta & x.callers.mask) != 0) {
+      return "exchange delta intersects the caller subcube's free dimensions";
+    }
+  }
+  if (exchanges.empty()) return {};
+
+  // 1. Refine: cut every exchange along class boundaries on both sides
+  //    of the pairing, producing caller-side pieces whose caller class
+  //    and partner class are each unique.  Two bipartite sweeps: caller
+  //    cubes against the partition, then the translated pieces against
+  //    it again.
+  const Subcube whole{0, cube};
+  std::vector<Subcube> class_cubes;
+  class_cubes.reserve(classes_.size());
+  for (const ClassEntry& c : classes_) class_cubes.push_back(c.cube);
+
+  std::vector<Subcube> caller_cubes;
+  caller_cubes.reserve(exchanges.size());
+  for (const Exchange& x : exchanges) caller_cubes.push_back(x.callers);
+  std::vector<OverlapHit> caller_hits;
+  {
+    PartitionRefiner refine(caller_cubes, class_cubes, opt_.subtract_budget);
+    if (!refine.run(whole, caller_hits)) {
+      return "knowledge refinement budget exceeded";
+    }
+  }
+
+  std::vector<Subcube> partner_cubes;
+  partner_cubes.reserve(caller_hits.size());
+  for (const OverlapHit& h : caller_hits) {
+    const Vertex delta = exchanges[h.query].delta;
+    partner_cubes.push_back(Subcube{h.piece.prefix ^ delta, h.piece.mask});
+  }
+  std::vector<OverlapHit> partner_hits;
+  {
+    PartitionRefiner refine(partner_cubes, class_cubes, opt_.subtract_budget);
+    if (!refine.run(whole, partner_hits)) {
+      return "knowledge refinement budget exceeded";
+    }
+  }
+
+  struct Triple {
+    Subcube piece;  // callers; partners are piece ^ delta
+    std::uint32_t ca = 0, cb = 0;
+    Vertex delta = 0;
+  };
+  std::vector<Triple> triples;
+  triples.reserve(partner_hits.size());
+  for (const OverlapHit& h : partner_hits) {
+    const OverlapHit& first = caller_hits[h.query];
+    const Vertex delta = exchanges[first.query].delta;
+    triples.push_back(
+        {Subcube{h.piece.prefix ^ delta, h.piece.mask}, first.cls, h.cls, delta});
+  }
+
+  // 2. Union per distinct (caller class, partner class, delta) — the
+  //    translation-keyed cache is what keeps a round sweeping millions
+  //    of groups between two classes at O(1) union computations.
+  struct UnionResult {
+    GossipKnowledgePtr caller_side;    // K_ca ∪ (K_cb ^ delta)
+    GossipKnowledgePtr receiver_side;  // the same set translated by delta
+  };
+  struct CacheKey {
+    std::uint32_t ca, cb;
+    Vertex delta;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return static_cast<std::size_t>(detail::mix_u64(
+          (static_cast<std::uint64_t>(k.ca) << 32 | k.cb) ^ detail::mix_u64(k.delta)));
+    }
+  };
+  std::unordered_map<CacheKey, UnionResult, CacheKeyHash> cache;
+  std::uint64_t subtract_budget = opt_.subtract_budget;
+
+  auto compute_union = [&](const Triple& t) -> std::pair<UnionResult, std::string> {
+    const GossipKnowledgePtr& ka = classes_[t.ca].know;
+    const GossipKnowledgePtr& kb = classes_[t.cb].know;
+    ++stats_.unions_computed;
+    // Fresh offsets: (kb ^ delta) minus what ka already covers.
+    std::vector<WeightedSubcube> fresh;
+    for (const WeightedSubcube& e : kb->entries) {
+      const Subcube moved{(e.prefix ^ t.delta) & ~e.mask, e.mask};
+      if (!subtract_covered(moved, ka->entries, subtract_budget, fresh)) {
+        return {{}, "knowledge subtraction budget exceeded"};
+      }
+    }
+    UnionResult r;
+    if (fresh.empty()) {
+      // Partner knowledge already known: share the caller set unchanged.
+      r.caller_side = ka;
+    } else {
+      std::vector<WeightedSubcube> raw = ka->entries;
+      raw.insert(raw.end(), fresh.begin(), fresh.end());
+      auto canon = canonical_reduce(std::move(raw), n_, opt_.reduce_budget);
+      if (!canon) return {{}, "knowledge union reduction budget exceeded"};
+      auto merged = std::make_shared<GossipKnowledge>();
+      merged->entries = std::move(*canon);
+      sort_entries(merged->entries);
+      std::uint64_t count = ka->count;
+      for (const WeightedSubcube& e : fresh) {
+        std::uint64_t size = 0;
+        if (!checked_shift_u64(static_cast<unsigned>(weight(e.mask)), size) ||
+            !checked_acc_u64(count, size)) {
+          return {{}, "knowledge count overflowed 64 bits"};
+        }
+      }
+      for (const WeightedSubcube& e : merged->entries) {
+        if (e.mult != 1) {
+          return {{}, "knowledge union lost disjointness (internal error)"};
+        }
+      }
+      merged->count = count;
+      merged->sig = content_sig(merged->entries, merged->count);
+      r.caller_side = std::move(merged);
+    }
+    r.receiver_side = translate_knowledge(r.caller_side, t.delta);
+    return {std::move(r), {}};
+  };
+
+  // 3. New classes: one pair per triple, plus the untouched remainders
+  //    of every partially-consumed old class.
+  std::vector<ClassEntry> next;
+  next.reserve(classes_.size() + 2 * triples.size());
+  std::vector<std::vector<Subcube>> consumed(classes_.size());
+  for (const Triple& t : triples) {
+    auto [it, fresh] = cache.try_emplace({t.ca, t.cb, t.delta});
+    if (fresh) {
+      auto [result, err] = compute_union(t);
+      if (!err.empty()) return err;
+      it->second = std::move(result);
+    } else {
+      ++stats_.union_cache_hits;
+    }
+    const Subcube partner{t.piece.prefix ^ t.delta, t.piece.mask};
+    next.push_back({t.piece, it->second.caller_side, /*fresh=*/true});
+    next.push_back({partner, it->second.receiver_side, /*fresh=*/true});
+    consumed[t.ca].push_back(t.piece);
+    consumed[t.cb].push_back(partner);
+  }
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (consumed[i].empty()) {
+      next.push_back(classes_[i]);
+      continue;
+    }
+    std::vector<WeightedSubcube> rem;
+    if (!subtract_recurse(classes_[i].cube, std::move(consumed[i]),
+                          subtract_budget, rem)) {
+      return "knowledge subtraction budget exceeded";
+    }
+    for (const WeightedSubcube& r : rem) {
+      next.push_back({Subcube{r.prefix, r.mask}, classes_[i].know, /*fresh=*/true});
+    }
+  }
+
+  // 4. Coalesce classes whose knowledge came out identical.
+  if (std::string err = merge_equal_classes(next); !err.empty()) return err;
+  classes_ = std::move(next);
+
+  // 5. Caps and the self-check: the classes must still tile Q_n exactly
+  //    (this also catches violated endpoint-disjointness preconditions —
+  //    overlapping exchanges double-consume and the sum drifts).
+  if (classes_.size() > opt_.max_classes) {
+    return "knowledge class cap exceeded (" + std::to_string(classes_.size()) +
+           " > " + std::to_string(opt_.max_classes) + ")";
+  }
+  std::uint64_t covered = 0;
+  for (const ClassEntry& c : classes_) {
+    std::uint64_t size = 0;
+    if (!checked_shift_u64(static_cast<unsigned>(c.cube.dim()), size) ||
+        !checked_acc_u64(covered, size)) {
+      return "knowledge coverage count overflowed 64 bits";
+    }
+  }
+  if (covered != cube_order(n_)) {
+    return "knowledge classes no longer tile the cube (overlapping exchange "
+           "endpoints or internal error)";
+  }
+  refresh_stats();
+  return {};
+}
+
+std::string KnowledgeClassPartition::merge_equal_classes(
+    std::vector<ClassEntry>& next) {
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(next.size());
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    buckets[next[i].know->sig].push_back(i);
+  }
+  std::vector<ClassEntry> out;
+  out.reserve(next.size());
+  for (auto& [sig, members] : buckets) {
+    // Buckets of settled classes only (nothing created or re-cut this
+    // round) are already in their reduced form from the round that made
+    // them — passing them through keeps the per-round merge cost
+    // proportional to the round's activity, not the class plateau.
+    bool any_fresh = false;
+    for (const std::size_t i : members) {
+      if (next[i].fresh) {
+        any_fresh = true;
+        break;
+      }
+    }
+    if (!any_fresh) {
+      for (const std::size_t i : members) out.push_back(next[i]);
+      continue;
+    }
+    // Group by actual content within the sig bucket — a hash collision
+    // must never merge classes with different knowledge.
+    std::vector<std::size_t> group_rep;           // index of each group's head
+    std::vector<std::vector<WeightedSubcube>> group_cubes;
+    for (const std::size_t i : members) {
+      const GossipKnowledge& k = *next[i].know;
+      std::size_t g = group_rep.size();
+      for (std::size_t j = 0; j < group_rep.size(); ++j) {
+        const GossipKnowledge& rep = *next[group_rep[j]].know;
+        if (next[group_rep[j]].know == next[i].know ||
+            (rep.count == k.count && rep.entries == k.entries)) {
+          g = j;
+          break;
+        }
+      }
+      if (g == group_rep.size()) {
+        group_rep.push_back(i);
+        group_cubes.emplace_back();
+      }
+      group_cubes[g].push_back({next[i].cube.prefix, next[i].cube.mask, 1});
+    }
+    for (std::size_t g = 0; g < group_rep.size(); ++g) {
+      const GossipKnowledgePtr& know = next[group_rep[g]].know;
+      if (group_cubes[g].size() == 1) {
+        const WeightedSubcube& e = group_cubes[g][0];
+        out.push_back({Subcube{e.prefix, e.mask}, know, /*fresh=*/false});
+        continue;
+      }
+      auto canon = canonical_reduce(std::move(group_cubes[g]), n_, opt_.reduce_budget);
+      if (!canon) return "class merge reduction budget exceeded";
+      for (const WeightedSubcube& e : *canon) {
+        if (e.mult != 1) {
+          return "knowledge classes overlap (overlapping exchange endpoints "
+                 "or internal error)";
+        }
+        out.push_back({Subcube{e.prefix, e.mask}, know, /*fresh=*/false});
+      }
+    }
+  }
+  next = std::move(out);
+  return {};
+}
+
+void KnowledgeClassPartition::refresh_stats() {
+  stats_.classes = classes_.size();
+  stats_.peak_classes = std::max(stats_.peak_classes, stats_.classes);
+  std::uint64_t subcubes = 0;
+  std::uint64_t pairs = 0;
+  bool pairs_exact = true;
+  std::unordered_set<const GossipKnowledge*> seen;
+  for (const ClassEntry& c : classes_) {
+    std::uint64_t size = 0;
+    std::uint64_t product = 0;
+    if (!checked_shift_u64(static_cast<unsigned>(c.cube.dim()), size) ||
+        !checked_mul_u64(size, c.know->count, product) ||
+        !checked_acc_u64(pairs, product)) {
+      pairs = ~std::uint64_t{0};  // saturate, flagged below
+      pairs_exact = false;
+    }
+    if (seen.insert(c.know.get()).second) {
+      subcubes += c.know->entries.size();
+    }
+  }
+  stats_.known_pairs = pairs;
+  stats_.known_pairs_exact = stats_.known_pairs_exact && pairs_exact;
+  stats_.peak_knowledge_subcubes = std::max(stats_.peak_knowledge_subcubes, subcubes);
+}
+
+bool KnowledgeClassPartition::all_complete() const noexcept {
+  for (const ClassEntry& c : classes_) {
+    if (!c.know->complete(n_)) return false;
+  }
+  return true;
+}
+
+const GossipKnowledge& KnowledgeClassPartition::knowledge_of(Vertex v) const {
+  for (const ClassEntry& c : classes_) {
+    if (c.cube.contains_vertex(v)) return *c.know;
+  }
+  assert(false && "partition does not cover the cube");
+  return *classes_.front().know;
+}
+
+}  // namespace shc

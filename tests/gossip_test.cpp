@@ -20,6 +20,8 @@ TEST_P(HypercubeGossip, DimensionExchangeIsOptimal) {
   EXPECT_TRUE(rep.minimum_time);
   EXPECT_EQ(rep.rounds, n);
   EXPECT_EQ(rep.max_call_length, 1);
+  EXPECT_EQ(rep.total_exchanges,
+            static_cast<std::uint64_t>(n) * cube_order(n - 1));
 }
 
 INSTANTIATE_TEST_SUITE_P(Cubes, HypercubeGossip, ::testing::Range(1, 11));
@@ -45,6 +47,7 @@ TEST_P(SparseGossip, GatherBroadcastCompletesInTwoN) {
     EXPECT_EQ(rep.rounds, 2 * n);
     EXPECT_FALSE(rep.minimum_time);  // 2n > n: the open-problem gap
     EXPECT_LE(rep.max_call_length, spec.k());
+    EXPECT_EQ(rep.total_exchanges, 2 * (spec.num_vertices() - 1));
   }
 }
 

@@ -421,6 +421,39 @@ TEST(SymbolicViolations, SampledReplayCatchesGraphDisagreement) {
   (void)check_spec;
 }
 
+TEST(SymbolicThreads, ShardedGroupChecksReproduceTheSerialReport) {
+  // The per-round caller-tiling consumption and collision-pair analysis
+  // shard over the persistent WorkerPool when sopt.threads > 1; the
+  // report must be bit-for-bit the single-thread one, clean or failing.
+  for (const int n : {12, 16}) {
+    const auto spec = design_sparse_hypercube(n, 3);
+    ValidationOptions opt;
+    opt.k = spec.k();
+    SymbolicCheckOptions serial;
+    SymbolicCheckOptions sharded;
+    sharded.threads = 4;
+    const auto a = certify_broadcast_symbolic(spec, 0, opt, serial);
+    const auto b = certify_broadcast_symbolic(spec, 0, opt, sharded);
+    expect_same_report(a.report, b.report, "threads=4 vs threads=1 clean");
+    ASSERT_TRUE(a.report.ok) << a.report.error;
+    EXPECT_EQ(a.checks.collision_candidates, b.checks.collision_candidates);
+  }
+  // Failure parity: a dropped group trips the tiling check identically.
+  auto bad = clean_schedule(10, 2);
+  bad.rounds[3].groups.pop_back();
+  bad.rounds[3].group_pattern.pop_back();
+  const auto spec = design_sparse_hypercube(10, 2);
+  const SpecView view(spec);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  SymbolicCheckOptions sharded;
+  sharded.threads = 4;
+  const auto serial_rep = validate_broadcast_symbolic(view, bad, opt);
+  const auto sharded_rep = validate_broadcast_symbolic(view, bad, opt, sharded);
+  EXPECT_FALSE(serial_rep.ok);
+  expect_same_report(serial_rep, sharded_rep, "threads=4 vs threads=1 failing");
+}
+
 TEST(SymbolicStats, GroupCompressionIsPolynomialWhileCallsAreExponential) {
   // n = 24, k = 2: 2^24 - 1 calls out of ~5k groups.
   const auto spec = design_sparse_hypercube(24, 2);
