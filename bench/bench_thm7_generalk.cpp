@@ -17,8 +17,22 @@ namespace {
 using namespace shc;
 
 std::string cuts_to_string(const std::vector<int>& cuts) {
+  // Piecewise appends throughout this file dodge GCC 12's bogus
+  // -Wrestrict on operator+(const char*, string&&) under -Werror.
   std::string s;
-  for (int c : cuts) s += (s.empty() ? "" : ",") + std::to_string(c);
+  for (int c : cuts) {
+    if (!s.empty()) s += ',';
+    s += std::to_string(c);
+  }
+  return s;
+}
+
+std::string interval_to_string(int lo, int hi) {
+  std::string s = "(";
+  s += std::to_string(lo);
+  s += ',';
+  s += std::to_string(hi);
+  s += ']';
   return s;
 }
 
@@ -49,9 +63,9 @@ void print_table() {
   for (std::size_t lv = 0; lv < spec.levels().size(); ++lv) {
     const auto& level = spec.levels()[lv];
     t.add_row({std::to_string(lv + 1),
-               "(" + std::to_string(level.win_lo) + "," + std::to_string(level.win_hi) + "]",
+               interval_to_string(level.win_lo, level.win_hi),
                std::to_string(level.labeling.num_labels()),
-               "(" + std::to_string(level.dim_lo) + "," + std::to_string(level.dim_hi) + "]",
+               interval_to_string(level.dim_lo, level.dim_hi),
                std::to_string(level.max_owned())});
   }
   t.print(std::cout);

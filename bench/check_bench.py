@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare freshly recorded bench artifacts
+against the committed perf-trajectory baselines.
+
+The repo commits its measured trajectory (BENCH_schedule.json from
+bench_schedule, BENCH_sweep.jsonl from shc_sweep).  CI re-records both
+on every push and this script fails the job when the trajectory would
+silently degrade:
+
+  * a *gated* row is missing from the fresh recording;
+  * a gated row's exact counters (calls / rounds / groups / exchanges /
+    minimum_time...) drift at all — those are deterministic facts about
+    the certified schedules, so any drift is a correctness change that
+    must be accompanied by a baseline update in the same commit;
+  * a gated row's wall time regresses more than the tolerance (default
+    25 %) relative to the committed baseline.  Rows faster than the
+    noise floor (0.5 s) are exempt from the timing check (their
+    counters are still gated); improvements always pass.
+
+Overrides for noisy runners (documented in README.md):
+
+  SHC_BENCH_TOLERANCE=0.60   widen the allowed real-time regression
+  SHC_BENCH_SKIP=1           skip the gate entirely (counters included)
+
+Both are also available as --tolerance / --skip.  Only the Python
+standard library is used.
+
+Usage:
+  python3 bench/check_bench.py \
+      [--fresh-schedule BENCH_schedule.fresh.json] \
+      [--fresh-sweep BENCH_sweep.fresh.jsonl] \
+      [--baseline-schedule BENCH_schedule.json] \
+      [--baseline-sweep BENCH_sweep.jsonl] \
+      [--tolerance 0.25] [--skip]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Gated bench_schedule rows (benchmark name prefix -> exact counters).
+# BM_StreamingCertify/30 is deliberately ungated: it needs a ~26 GB
+# big-memory box and CI skips recording it.
+GATED_SCHEDULE = {
+    "BM_StreamingCertify/20": ["calls", "minimum_time"],
+    "BM_StreamingCertify/24": ["calls", "minimum_time"],
+    "BM_SymbolicCertify/40": ["calls", "groups", "minimum_time"],
+    "BM_SymbolicCertify/48": ["calls", "groups", "minimum_time"],
+    "BM_SymbolicCertify/63": ["calls", "groups", "minimum_time"],
+    "BM_SymbolicCertifyDesigned/63": ["calls", "groups", "minimum_time"],
+    "BM_SymbolicGossip/26": ["exchanges", "groups"],
+    "BM_SymbolicGossip/33": ["exchanges", "groups"],
+    "BM_SymbolicGossip/40": ["exchanges", "groups"],
+}
+
+# Gated shc_sweep rows: identity -> exact counters.  Grid rows are keyed
+# (engine, n, k, model); every committed row of these engines is gated.
+SWEEP_COUNTERS = {
+    "streaming": ["rounds", "calls", "minimum_time", "ok"],
+    "symbolic": ["rounds", "calls", "groups", "minimum_time", "ok"],
+    "symbolic-gossip": ["rounds", "exchanges", "groups", "complete", "ok"],
+}
+
+NOISE_FLOOR_SECONDS = 0.5
+
+
+def sweep_identity(row):
+    return (row.get("engine", "streaming"), row.get("n"), row.get("k"),
+            row.get("model", ""))
+
+
+def load_schedule(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        # Strip google-benchmark decorations: ".../iterations:1" etc.
+        base = name.split("/iterations:")[0]
+        rows[base] = bench
+    return rows
+
+
+def load_sweep(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            rows[sweep_identity(row)] = row
+    return rows
+
+
+def check_counters(what, gate_keys, fresh, baseline, failures):
+    for key in gate_keys:
+        if key not in baseline:
+            continue  # baseline predates the counter; nothing to gate
+        if key not in fresh:
+            failures.append(f"{what}: counter '{key}' missing from the "
+                            "fresh recording")
+            continue
+        fv, bv = fresh[key], baseline[key]
+        if fv != bv:
+            failures.append(
+                f"{what}: counter '{key}' drifted (baseline {bv!r}, "
+                f"fresh {fv!r}) — a deterministic fact changed; update the "
+                "committed baseline in the same commit if intentional")
+
+
+def check_time(what, fresh_secs, base_secs, tolerance, failures):
+    if base_secs is None or fresh_secs is None:
+        return
+    if base_secs < NOISE_FLOOR_SECONDS:
+        return
+    if fresh_secs > base_secs * (1.0 + tolerance):
+        failures.append(
+            f"{what}: real time regressed {fresh_secs:.2f}s vs baseline "
+            f"{base_secs:.2f}s (> {tolerance:.0%} tolerance; raise "
+            "SHC_BENCH_TOLERANCE for a known-noisy runner, or fix the "
+            "regression)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh-schedule", default="BENCH_schedule.fresh.json")
+    ap.add_argument("--fresh-sweep", default="BENCH_sweep.fresh.jsonl")
+    ap.add_argument("--baseline-schedule", default="BENCH_schedule.json")
+    ap.add_argument("--baseline-sweep", default="BENCH_sweep.jsonl")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("SHC_BENCH_TOLERANCE", "0.25")))
+    ap.add_argument("--skip", action="store_true",
+                    default=os.environ.get("SHC_BENCH_SKIP", "") == "1")
+    args = ap.parse_args()
+
+    if args.skip:
+        print("check_bench: SKIPPED (SHC_BENCH_SKIP/--skip set)")
+        return 0
+
+    failures = []
+
+    try:
+        fresh_sched = load_schedule(args.fresh_schedule)
+        base_sched = load_schedule(args.baseline_schedule)
+    except OSError as e:
+        print(f"check_bench: cannot read schedule artifact: {e}",
+              file=sys.stderr)
+        return 2
+
+    for name, counters in GATED_SCHEDULE.items():
+        base = base_sched.get(name)
+        if base is None:
+            continue  # the baseline does not carry this row yet
+        fresh = fresh_sched.get(name)
+        if fresh is None:
+            failures.append(f"schedule row '{name}': gated row missing from "
+                            "the fresh recording")
+            continue
+        check_counters(f"schedule row '{name}'", counters, fresh, base,
+                       failures)
+        check_time(f"schedule row '{name}'", fresh.get("real_time"),
+                   base.get("real_time"), args.tolerance, failures)
+
+    try:
+        fresh_sweep = load_sweep(args.fresh_sweep)
+        base_sweep = load_sweep(args.baseline_sweep)
+    except OSError as e:
+        print(f"check_bench: cannot read sweep artifact: {e}", file=sys.stderr)
+        return 2
+
+    for identity, base in sorted(base_sweep.items(), key=str):
+        engine = identity[0]
+        counters = SWEEP_COUNTERS.get(engine)
+        if counters is None:
+            continue
+        what = (f"sweep row engine={engine} n={identity[1]} k={identity[2]}"
+                + (f" model={identity[3]}" if identity[3] else ""))
+        fresh = fresh_sweep.get(identity)
+        if fresh is None:
+            failures.append(f"{what}: gated row missing from the fresh sweep")
+            continue
+        check_counters(what, counters, fresh, base, failures)
+        check_time(what, fresh.get("seconds"), base.get("seconds"),
+                   args.tolerance, failures)
+
+    if failures:
+        print(f"check_bench: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    gated = len([n for n in GATED_SCHEDULE if n in base_sched]) + len(
+        [i for i in base_sweep if i[0] in SWEEP_COUNTERS])
+    print(f"check_bench: OK ({gated} gated rows, tolerance "
+          f"{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,7 @@ std::string run_symbolic_scenario(const Scenario& sc) {
      << ",\"peak_frontier_subcubes\":" << cert.checks.peak_frontier_subcubes
      << ",\"peak_round_groups\":" << cert.checks.peak_round_groups
      << ",\"collision_candidates\":" << cert.checks.collision_candidates
+     << ",\"occupancy_claims\":" << cert.checks.occupancy_claims
      << ",\"sampled_calls\":" << cert.checks.sampled_calls
      << ",\"seconds\":" << seconds;
   if (!cert.report.ok) {
@@ -130,6 +131,7 @@ std::string run_gossip_scenario(const Scenario& sc) {
      << cert.checks.classes.peak_knowledge_subcubes
      << ",\"unions\":" << cert.checks.classes.unions_computed
      << ",\"collision_candidates\":" << cert.checks.collision_candidates
+     << ",\"occupancy_claims\":" << cert.checks.occupancy_claims
      << ",\"sampled_calls\":" << cert.checks.sampled_calls
      << ",\"seconds\":" << seconds;
   if (!cert.report.ok) {

@@ -11,8 +11,12 @@
 //     support discipline, representative edges, count == subcube size);
 //     per round, the 2R endpoint subcubes must be pairwise disjoint
 //     (gossip's endpoint-uniqueness rule — in an exchange both ends
-//     "receive") and concurrent multi-hop groups pass the volume-sweep
-//     collision analysis with exact route-pattern edge intersection;
+//     "receive") and concurrent multi-hop groups must be edge-disjoint.
+//     Both disjointness clauses consume the dyadic occupancy ledger
+//     (sim/occupancy_ledger.hpp) by default — O(total pieces * n) with
+//     exact double-claim witnesses — with the original volume-sweep
+//     candidate analysis behind SymbolicGossipOptions::collision_mode
+//     for parity testing;
 //   * knowledge (sim/knowledge_classes.hpp): vertices partition into
 //     classes of equal *relative* knowledge; a group's exchange pairs
 //     caller u with u ^ delta, both sides absorb the union of the two
@@ -54,6 +58,7 @@
 #include "shc/mlbg/symbolic_broadcast.hpp"
 #include "shc/sim/knowledge_classes.hpp"
 #include "shc/sim/network.hpp"
+#include "shc/sim/occupancy_ledger.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/symbolic_schedule.hpp"
 #include "shc/sim/symbolic_validator.hpp"
@@ -71,9 +76,21 @@ struct SymbolicGossipOptions {
   std::uint64_t sample_calls_per_group = 4;
   std::uint64_t sample_seed = 0x5eedULL;
 
-  /// Node budget of the per-round endpoint/volume disjointness sweeps.
+  /// How per-round endpoint and edge disjointness is proved: the dyadic
+  /// occupancy ledger (default, O(total pieces * n)) or the original
+  /// candidate-pair sweep, kept for parity testing — both produce
+  /// bit-for-bit identical reports (enforced by tests).
+  CollisionMode collision_mode = CollisionMode::kLedger;
+  /// Dyadic-walk budget per ledger claim: each bucket's budget is
+  /// ledger_bucket_budget_base + ledger_budget_per_claim * bucket
+  /// claims (deterministic for any thread count).
+  std::uint64_t ledger_budget_per_claim = 512;
+  std::uint64_t ledger_bucket_budget_base = 4096;
+
+  /// Node budget of the per-round endpoint/volume disjointness sweeps
+  /// (kPairSweep mode only).
   std::uint64_t collision_budget = std::uint64_t{1} << 28;
-  /// Cap on collision candidate pairs per round.
+  /// Cap on collision candidate pairs per round (kPairSweep mode only).
   std::size_t max_collision_pairs = std::size_t{1} << 16;
 
   /// Budgets and caps of the knowledge-class partition.
@@ -91,6 +108,7 @@ struct SymbolicGossipStats {
   std::uint64_t groups = 0;            ///< call groups consumed
   std::uint64_t peak_round_groups = 0;
   std::uint64_t collision_candidates = 0;  ///< pairs given exact edge analysis
+  std::uint64_t occupancy_claims = 0;  ///< subcubes consumed by the ledger
   std::uint64_t sampled_calls = 0;     ///< concrete exchanges replayed
   KnowledgeClassStats classes;         ///< partition size/effort counters
 };
@@ -109,7 +127,8 @@ class SymbolicGossipValidator {
         n_(net.cube_dim()),
         order_(net.num_vertices()),
         state_(n_ >= 1 && n_ <= kMaxCubeDim ? n_ : 1, sopt.classes),
-        rng_(sopt.sample_seed) {
+        rng_(sopt.sample_seed),
+        occupancy_(n_ >= 1 && n_ <= kMaxCubeDim ? n_ : 1) {
     if (n_ < 1 || n_ > kMaxCubeDim || order_ != cube_order(n_)) {
       fail("symbolic gossip validator requires a full 2^n-vertex cube oracle");
       return;
@@ -176,7 +195,10 @@ class SymbolicGossipValidator {
                                pattern.end());
     round_.pattern_off.push_back(
         static_cast<std::uint32_t>(round_.pattern_pool.size()));
-    volumes_.push_back(Subcube{g.prefix & ~span_mask, g.free_mask | span_mask});
+    if (sopt_.collision_mode == CollisionMode::kPairSweep) {
+      volumes_.push_back(
+          Subcube{g.prefix & ~span_mask, g.free_mask | span_mask});
+    }
     endpoints_.push_back(g.callers());
     endpoints_.push_back(Subcube{g.prefix ^ delta, g.free_mask});
     exchanges_.push_back({g.callers(), delta});
@@ -243,13 +265,43 @@ class SymbolicGossipValidator {
   /// Gossip's receiver-uniqueness: both ends of an exchange are
   /// endpoints, so the 2R endpoint subcubes of a round must be pairwise
   /// disjoint.  (Within one group the two cubes are disjoint by
-  /// delta != 0 outside the free mask, so any reported pair is a
-  /// genuine violation.)
+  /// delta != 0 outside the free mask, so any reported overlap is a
+  /// genuine violation.)  Ledger mode consumes the endpoint subcubes
+  /// into one occupancy family; pair-sweep mode keeps the original
+  /// candidate enumeration.  Identical verdicts and messages.
   bool check_endpoint_uniqueness(const std::string& where) {
+    if (sopt_.collision_mode == CollisionMode::kLedger) {
+      occupancy_.clear();
+      for (std::size_t ei = 0; ei < endpoints_.size(); ++ei) {
+        occupancy_.claim(1, endpoints_[ei].prefix, endpoints_[ei].mask,
+                         static_cast<std::uint32_t>(ei / 2));
+      }
+      stats_.occupancy_claims += occupancy_.num_claims();
+      const OccupancyOutcome out =
+          occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
+                           sopt_.ledger_bucket_budget_base);
+      if (out.status == OccupancyStatus::kBudgetExceeded) {
+        fail(where + "endpoint disjointness analysis exceeded its budget "
+                     "(ledger bucket budget " +
+             std::to_string(out.budget) +
+             "; raise SymbolicGossipOptions::ledger_budget_per_claim)");
+        return false;
+      }
+      if (out.status == OccupancyStatus::kDoubleClaim) {
+        fail(where + "a vertex takes part in two exchanges "
+                     "(endpoint subcubes overlap)");
+        return false;
+      }
+      return true;
+    }
     const auto pairs = find_overlapping_pairs(
         endpoints_, sopt_.collision_budget, sopt_.max_collision_pairs);
     if (!pairs) {
-      fail(where + "endpoint disjointness analysis exceeded its budget");
+      fail(where + "endpoint disjointness analysis exceeded its budget "
+                   "(node budget " +
+           std::to_string(sopt_.collision_budget) +
+           "; raise SymbolicGossipOptions::collision_budget or switch to "
+           "CollisionMode::kLedger)");
       return false;
     }
     if (!pairs->empty()) {
@@ -260,14 +312,35 @@ class SymbolicGossipValidator {
     return true;
   }
 
-  /// Candidate pairs by call-volume disjointness, then exact
-  /// route-pattern edge analysis per candidate (sharded across the
-  /// pool; smallest failing candidate wins, as in a serial loop).
+  /// Per-round edge disjointness, dispatched on the configured mode.
   bool check_edge_collisions(const std::string& where) {
+    if (sopt_.collision_mode == CollisionMode::kLedger) {
+      occupancy_.clear();
+      detail::claim_round_edge_subcubes(round_, occupancy_);
+      stats_.occupancy_claims += occupancy_.num_claims();
+      const OccupancyOutcome out =
+          occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
+                           sopt_.ledger_bucket_budget_base);
+      if (out.status == OccupancyStatus::kBudgetExceeded) {
+        fail(where + "collision analysis exceeded its budget (ledger bucket "
+                     "budget " +
+             std::to_string(out.budget) +
+             "; raise SymbolicGossipOptions::ledger_budget_per_claim)");
+        return false;
+      }
+      if (out.status == OccupancyStatus::kDoubleClaim) {
+        fail(where + "edge collision between concurrent call groups");
+        return false;
+      }
+      return true;
+    }
     const auto pairs = find_overlapping_pairs(volumes_, sopt_.collision_budget,
                                               sopt_.max_collision_pairs);
     if (!pairs) {
-      fail(where + "collision analysis exceeded its budget");
+      fail(where + "collision analysis exceeded its budget (node budget " +
+           std::to_string(sopt_.collision_budget) +
+           "; raise SymbolicGossipOptions::collision_budget or switch to "
+           "CollisionMode::kLedger)");
       return false;
     }
     stats_.collision_candidates += pairs->size();
@@ -342,8 +415,9 @@ class SymbolicGossipValidator {
   // Round-local group storage: one recycled SymbolicRound (patterns
   // pooled in its 32-bit-offset layout; no deduplication needed here).
   SymbolicRound round_;
-  std::vector<Subcube> volumes_;
+  std::vector<Subcube> volumes_;  ///< kPairSweep mode only
   std::vector<Subcube> endpoints_;
+  OccupancyLedger occupancy_;     ///< kLedger mode
   std::vector<KnowledgeClassPartition::Exchange> exchanges_;
   bool round_multihop_ = false;
 

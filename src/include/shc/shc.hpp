@@ -31,6 +31,7 @@
 #include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/knowledge_classes.hpp"
 #include "shc/sim/network.hpp"
+#include "shc/sim/occupancy_ledger.hpp"
 #include "shc/sim/round_sink.hpp"
 #include "shc/sim/schedule.hpp"
 #include "shc/sim/streaming_validator.hpp"

@@ -1,0 +1,307 @@
+// Dyadic occupancy ledger — sub-quadratic disjointness certification for
+// families of subcubes.
+//
+// The symbolic validators must prove, per round, that the edge subcubes
+// (and, under the Section-5 vertex-disjoint model, the vertex subcubes)
+// claimed by concurrent call groups are pairwise disjoint.  The original
+// pair sweep (find_overlapping_pairs over coarse per-group call volumes,
+// then exact route-pattern analysis per candidate) is effectively
+// quadratic in the number of concurrent groups: the paper's *designed*
+// n = 63 spec (m = 10) produces rounds of ~8.4 M groups whose sweep
+// exceeds any reasonable node budget.  The ledger replaces candidate
+// *pairs* with dyadic *consumption* — the same argument the caller-tiling
+// check already uses for frontier/ledger key matching:
+//
+//   * every per-hop edge subcube is claimed into the family of its flip
+//     dimension (edges of different dimensions can never coincide, so
+//     the families are independent shards);
+//   * within a family, claims are consumed into buckets of an
+//     open-addressing ledger (detail::PrefixTable) keyed by the bits
+//     that every claim pins but whose values differ — two overlapping
+//     subcubes agree on all commonly pinned bits, so bucketing on any
+//     subset of them is exact and costs O(1) per claim;
+//   * each bucket is then resolved by a dyadic split walk: branch on a
+//     pinned dimension (preferring dims pinned by every claim with
+//     differing values — a zero-duplication split), duplicate claims
+//     that leave the dimension free into both halves, and stop at nodes
+//     where no claim pins anything — two claims meeting in such a leaf is a
+//     *double-claim*, an exact collision witness (the claiming group
+//     indices plus the shared subcube).  Disjoint families never
+//     enumerate a single pair, so the cost is O(total pieces · n)
+//     instead of O(candidate pairs · pattern length).
+//
+// Every bucket carries a deterministic budget proportional to its claim
+// count (a hard ceiling on the dyadic duplication factor), so adversarially
+// interleaved families fail explicitly — and the verdict, witness, and
+// budget diagnostics are identical for every thread count: buckets are
+// formed serially in claim order, walked independently (sharded over the
+// persistent WorkerPool when one is supplied), and the outcome with the
+// smallest bucket index wins, exactly as the serial loop picks it.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "shc/bits/vertex.hpp"
+#include "shc/sim/subcube.hpp"
+#include "shc/sim/worker_pool.hpp"
+
+namespace shc {
+
+/// Which machinery the symbolic validators use for per-round concurrent
+/// group disjointness.  kLedger is the default; kPairSweep keeps the
+/// original candidate-pair machinery alive for parity testing and
+/// small-n cross-checking (reports are bit-for-bit identical — enforced
+/// by tests — except a round holding both an edge and a vertex
+/// collision on different group pairs, which fails at the same round
+/// but may pick the other collision's message; the checking orders
+/// differ).
+enum class CollisionMode {
+  kLedger,     ///< dyadic occupancy ledger, O(total pieces * n)
+  kPairSweep,  ///< volume sweep + exact analysis per candidate pair
+};
+
+/// Verdict of one OccupancyLedger::check() run.
+enum class OccupancyStatus {
+  kDisjoint,        ///< no two claims share a vertex
+  kDoubleClaim,     ///< a collision witness was found
+  kBudgetExceeded,  ///< a bucket walk outran its deterministic budget
+};
+
+/// Result of a check, including the exact witness on kDoubleClaim.
+struct OccupancyOutcome {
+  OccupancyStatus status = OccupancyStatus::kDisjoint;
+  int family = 0;            ///< family id of the witness / budget hit
+  std::uint32_t group_a = 0; ///< first claimant (claim insertion order)
+  std::uint32_t group_b = 0; ///< second claimant
+  Subcube piece;             ///< a subcube both groups claim (witness)
+  std::uint64_t budget = 0;  ///< the exhausted bucket budget (diagnostics)
+  std::uint64_t nodes = 0;   ///< dyadic walk visits (valid when kDisjoint)
+};
+
+/// Multiset-of-claims disjointness checker.  Families are independent
+/// shards (claims in different families are never compared); within the
+/// validators, edge claims use their flip dimension as the family id and
+/// vertex claims use n + 1, so edge collisions are discovered before
+/// vertex collisions, matching the pair sweep's per-candidate order.
+class OccupancyLedger {
+ public:
+  explicit OccupancyLedger(int n) : n_(n) { assert(n >= 1 && n <= kMaxCubeDim); }
+
+  /// Registers the subcube (prefix, mask) as claimed by `group` in
+  /// `family` (0 <= family; families are checked in ascending order).
+  void claim(int family, Vertex prefix, Vertex mask, std::uint32_t group) {
+    assert((prefix & mask) == 0);
+    if (families_.size() <= static_cast<std::size_t>(family)) {
+      families_.resize(static_cast<std::size_t>(family) + 1);
+    }
+    families_[static_cast<std::size_t>(family)].push_back({prefix, mask, group});
+    ++claims_;
+  }
+
+  [[nodiscard]] std::uint64_t num_claims() const noexcept { return claims_; }
+
+  /// Drops all claims but keeps the family/bucket capacity for the next
+  /// round (the validators recycle one ledger across rounds).
+  void clear() {
+    for (auto& f : families_) f.clear();
+    claims_ = 0;
+  }
+
+  /// Resolves every family.  Deterministic for any `pool`/thread count:
+  /// bucket formation is serial, each bucket's walk is independent with
+  /// a budget of `bucket_budget_base + budget_per_claim * bucket_claims`,
+  /// and the outcome with the smallest (family, bucket) index wins.
+  [[nodiscard]] OccupancyOutcome check(
+      WorkerPool* pool, std::uint64_t budget_per_claim,
+      std::uint64_t bucket_budget_base = 4096) const {
+    // ---- bucket formation (serial, deterministic) --------------------
+    struct Bucket {
+      int family = 0;
+      std::vector<std::uint32_t> ids;  ///< indices into families_[family]
+    };
+    std::vector<Bucket> buckets;
+    detail::PrefixTable keys;
+    for (std::size_t fam = 0; fam < families_.size(); ++fam) {
+      const std::vector<Claim>& claims = families_[fam];
+      if (claims.size() < 2) continue;
+      // Bits every claim pins with differing values: bucketing on them
+      // is exact (overlapping claims agree on all commonly pinned bits).
+      Vertex free_any = 0, prefix_or = 0, prefix_and = ~Vertex{0};
+      for (const Claim& c : claims) {
+        free_any |= c.mask;
+        prefix_or |= c.prefix;
+        prefix_and &= c.prefix;
+      }
+      Vertex varying = mask_low(n_) & ~free_any & (prefix_or ^ prefix_and);
+      Vertex bucket_bits = 0;
+      for (int b = 0; b < kMaxBucketBits && varying != 0; ++b) {
+        const Vertex bit = varying & (~varying + 1);
+        bucket_bits |= bit;
+        varying &= ~bit;
+      }
+      keys = {};
+      for (std::size_t i = 0; i < claims.size(); ++i) {
+        const Vertex key = claims[i].prefix & bucket_bits;
+        std::size_t at;
+        if (const std::uint64_t* v = keys.find(key)) {
+          at = static_cast<std::size_t>(*v);
+        } else {
+          at = buckets.size();
+          keys.add(key, static_cast<std::uint64_t>(at));
+          buckets.push_back({static_cast<int>(fam), {}});
+        }
+        buckets[at].ids.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+
+    // ---- bucket walks (sharded; smallest bucket index wins) ----------
+    std::atomic<std::uint64_t> total_nodes{0};
+    std::mutex best_m;
+    std::size_t best_index = buckets.size();
+    OccupancyOutcome best;
+    auto walk_bucket = [&](std::size_t bi) {
+      Bucket& bucket = buckets[bi];
+      const std::vector<Claim>& claims =
+          families_[static_cast<std::size_t>(bucket.family)];
+      const std::uint64_t budget =
+          bucket_budget_base +
+          budget_per_claim * static_cast<std::uint64_t>(bucket.ids.size());
+      DyadicWalk walk{claims, budget, 0, false, false, 0, 0};
+      walk.run(bucket.ids, mask_low(n_));
+      total_nodes.fetch_add(walk.nodes, std::memory_order_relaxed);
+      if (!walk.found && !walk.budget_hit) return false;
+      OccupancyOutcome out;
+      if (walk.budget_hit) {
+        out.status = OccupancyStatus::kBudgetExceeded;
+        out.family = bucket.family;
+        out.budget = budget;
+      } else {
+        out.status = OccupancyStatus::kDoubleClaim;
+        out.family = bucket.family;
+        out.group_a = claims[walk.hit_a].group;
+        out.group_b = claims[walk.hit_b].group;
+        const auto piece =
+            subcube_intersection({claims[walk.hit_a].prefix, claims[walk.hit_a].mask},
+                                 {claims[walk.hit_b].prefix, claims[walk.hit_b].mask});
+        assert(piece.has_value());
+        if (piece) out.piece = *piece;
+      }
+      std::lock_guard<std::mutex> lock(best_m);
+      if (bi < best_index) {
+        best_index = bi;
+        best = out;
+      }
+      return true;
+    };
+
+    if (pool == nullptr || pool->workers() <= 1 || buckets.size() < 2 ||
+        buckets.size() >
+            static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+      for (std::size_t bi = 0; bi < buckets.size(); ++bi) {
+        if (walk_bucket(bi)) break;  // serial: the first outcome is final
+      }
+    } else {
+      pool->run(static_cast<int>(buckets.size()),
+                [&](int bi) { (void)walk_bucket(static_cast<std::size_t>(bi)); });
+    }
+    if (best_index < buckets.size()) return best;
+    OccupancyOutcome ok;
+    ok.nodes = total_nodes.load(std::memory_order_relaxed);
+    return ok;
+  }
+
+ private:
+  static constexpr int kMaxBucketBits = 16;
+
+  struct Claim {
+    Vertex prefix = 0;
+    Vertex mask = 0;
+    std::uint32_t group = 0;
+  };
+
+  /// Divide-on-pinned-dimension descent over one bucket.  A node where
+  /// no claim pins a remaining dimension holds claims that all cover the
+  /// node's whole subspace: two of them is a double-claim.  Claims free
+  /// on the branch dimension are split into both halves (the dyadic
+  /// split); partition order is stable, so hit_a/hit_b are the claims
+  /// with the smallest insertion indices — deterministic everywhere.
+  struct DyadicWalk {
+    const std::vector<Claim>& claims;
+    std::uint64_t budget;
+    std::uint64_t nodes;
+    bool found;
+    bool budget_hit;
+    std::uint32_t hit_a, hit_b;
+
+    void run(std::vector<std::uint32_t>& ids, Vertex remaining) {
+      if (found || budget_hit || ids.size() <= 1) return;
+      if (budget < ids.size()) {
+        budget_hit = true;
+        return;
+      }
+      budget -= ids.size();
+      nodes += ids.size();
+
+      Vertex free_or = 0, pinned_any = 0, pref_or = 0, pref_and = ~Vertex{0};
+      for (const std::uint32_t i : ids) {
+        const Claim& c = claims[i];
+        free_or |= c.mask;
+        pinned_any |= remaining & ~c.mask;
+        pref_or |= c.prefix;
+        pref_and &= c.prefix;
+      }
+      // Dims every claim pins to the same value carry no overlap
+      // information — drop them from `remaining` without spending a
+      // branch.
+      const Vertex pinned_all = remaining & ~free_or;
+      const Vertex diff = (pref_or ^ pref_and) & remaining;
+      remaining &= ~(pinned_all & ~diff);
+      pinned_any &= remaining;
+      if (pinned_any == 0) {
+        hit_a = ids[0];
+        hit_b = ids[1];
+        found = true;
+        return;
+      }
+      // Branch preference: a dim pinned by *every* claim with differing
+      // values splits with zero duplication (for dyadic tilings this
+      // mirrors the tiling's own generation tree, making acceptance
+      // linear); next, a dim whose pinned values disagree; highest
+      // pinned dim as the last resort.
+      Vertex cand = pinned_all & diff;
+      if (cand == 0) cand = pinned_any & diff;
+      if (cand == 0) cand = pinned_any;
+      const int d = 63 - __builtin_clzll(cand);
+      const Vertex b = Vertex{1} << d;
+      std::vector<std::uint32_t> lo, hi;
+      for (const std::uint32_t i : ids) {
+        const Claim& c = claims[i];
+        if (c.mask & b) {
+          lo.push_back(i);
+          hi.push_back(i);
+        } else if (c.prefix & b) {
+          hi.push_back(i);
+        } else {
+          lo.push_back(i);
+        }
+      }
+      ids.clear();
+      ids.shrink_to_fit();
+      run(lo, remaining & ~b);
+      run(hi, remaining & ~b);
+    }
+  };
+
+  int n_;
+  std::vector<std::vector<Claim>> families_;
+  std::uint64_t claims_ = 0;
+};
+
+}  // namespace shc

@@ -14,10 +14,15 @@
 //   * per round: the caller groups must exactly tile the validator's own
 //     informed-set frontier (each informed vertex places exactly one
 //     call — the closure property of minimum-time doubling), and
-//     concurrent groups must not collide: a subcube-disjointness sweep
-//     over call volumes finds candidate pairs, and each candidate gets
-//     exact route-pattern collision analysis (edge subcubes per hop;
-//     vertex subcubes too under the Section-5 vertex-disjoint model);
+//     concurrent groups must not collide.  Disjointness is proved by the
+//     dyadic occupancy ledger (occupancy_ledger.hpp): every hop's edge
+//     subcube — and vertex subcube under the Section-5 vertex-disjoint
+//     model — is consumed into a per-dimension ledger where a
+//     double-claim is an exact collision witness, O(total pieces * n)
+//     with no candidate pair ever formed.  The original pair sweep
+//     (volume overlap candidates + exact route-pattern analysis, cost
+//     quadratic in concurrent groups) stays available behind
+//     SymbolicCheckOptions::collision_mode for parity testing;
 //   * across rounds: receivers are inserted into the frontier as a
 //     *multiset* (SubcubeFrontier multiplicities), and the endgame
 //     requires the frontier's canonical form to be the full cube with
@@ -57,6 +62,7 @@
 
 #include "shc/bits/bitstring.hpp"
 #include "shc/bits/checked.hpp"
+#include "shc/sim/occupancy_ledger.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/symbolic_schedule.hpp"
 #include "shc/sim/validator.hpp"
@@ -200,6 +206,27 @@ template <class Net>
   return {};
 }
 
+/// Claims every hop's edge subcube of the round's groups into `occ`,
+/// keyed by flip dimension (1-based, so family 0 stays free).  This is
+/// the ONE definition of the edge-subcube encoding both the broadcast
+/// and gossip symbolic validators consume — a fix here cannot silently
+/// miss one engine.  Patterns must already have passed
+/// check_symbolic_call_group (hops are single in-range dimension flips
+/// and free dims avoid them, so (prefix & mask) == 0 holds per claim).
+inline void claim_round_edge_subcubes(const SymbolicRound& round,
+                                      OccupancyLedger& occ) {
+  for (std::size_t gi = 0; gi < round.groups.size(); ++gi) {
+    const CallGroup& g = round.groups[gi];
+    const std::span<const Vertex> patt = round.pattern_of_group(gi);
+    for (std::size_t j = 0; j + 1 < patt.size(); ++j) {
+      const Vertex diff = patt[j] ^ patt[j + 1];
+      occ.claim(differing_dim(patt[j], patt[j + 1]),
+                (g.prefix ^ patt[j]) & ~diff, g.free_mask,
+                static_cast<std::uint32_t>(gi));
+    }
+  }
+}
+
 /// Runs fn(i) -> error-or-empty for every i in [0, count), inline or
 /// sharded across `pool`, and returns the failure with the *smallest*
 /// index — the verdict the serial loop produces, independent of thread
@@ -255,12 +282,38 @@ struct SymbolicCheckOptions {
 
   /// Hard cap on informed-set subcubes (memory guard).
   std::uint64_t max_frontier_subcubes = std::uint64_t{1} << 26;
-  /// Node budget of the per-round collision candidate sweep.
+
+  /// How per-round concurrent-group disjointness is proved.  kLedger
+  /// (the default) consumes every per-hop edge subcube — and vertex
+  /// subcube under the vertex-disjoint model — into a dyadic occupancy
+  /// ledger: cost O(total pieces * n), which is what certifies the
+  /// paper's designed n = 63 (m = 10) construction.  kPairSweep keeps
+  /// the original volume sweep + exact analysis per candidate pair for
+  /// parity testing and small-n cross-checking; the two modes produce
+  /// bit-for-bit identical reports (enforced by tests; the one caveat —
+  /// a round holding both an edge and a vertex collision on different
+  /// group pairs may pick the other collision's message — is
+  /// documented at check_collisions).
+  CollisionMode collision_mode = CollisionMode::kLedger;
+  /// Dyadic-walk budget per ledger claim: each bucket's budget is
+  /// ledger_bucket_budget_base + ledger_budget_per_claim * bucket
+  /// claims — deterministic, thread-count independent.  The designed
+  /// specs stay under 16 visits per claim; the default leaves an order
+  /// of magnitude of headroom.
+  std::uint64_t ledger_budget_per_claim = 512;
+  std::uint64_t ledger_bucket_budget_base = 4096;
+
+  /// Node budget of the per-round collision candidate sweep
+  /// (kPairSweep mode only).
   std::uint64_t collision_budget = std::uint64_t{1} << 28;
-  /// Cap on collision candidate pairs per round.
+  /// Cap on collision candidate pairs per round (kPairSweep mode only).
   std::size_t max_collision_pairs = std::size_t{1} << 16;
   /// Node budget of the endgame canonical reduction.
   std::uint64_t reduce_budget = std::uint64_t{1} << 26;
+  /// Per-entry budget of the caller-tiling dyadic consumption; 0 (the
+  /// default) derives it from the round's group count
+  /// (4 * groups + 65536).
+  std::uint64_t tiling_budget = 0;
 
   /// Workers for the per-round group checks (collision-candidate
   /// analysis and caller-tiling consumption) — they shard over a
@@ -278,6 +331,7 @@ struct SymbolicRunStats {
   std::uint64_t peak_frontier_subcubes = 0;
   std::uint64_t final_frontier_subcubes = 0;
   std::uint64_t collision_candidates = 0;  ///< pairs that needed exact analysis
+  std::uint64_t occupancy_claims = 0;      ///< subcubes consumed by the ledger
   std::uint64_t sampled_calls = 0;         ///< concrete calls replayed serially
 };
 
@@ -294,7 +348,8 @@ class SymbolicBroadcastValidator {
         order_(net.num_vertices()),
         frontier_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
         ledger_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
-        rng_(sopt.sample_seed) {
+        rng_(sopt.sample_seed),
+        occupancy_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)) {
     if (sopt.threads > 1) pool_ = std::make_unique<WorkerPool>(sopt.threads);
     if (n_ < 1 || n_ > kMaxCubeDim || order_ != cube_order(n_)) {
       fail("symbolic validator requires a full 2^n-vertex cube oracle");
@@ -364,7 +419,10 @@ class SymbolicBroadcastValidator {
                                pattern.end());
     round_.pattern_off.push_back(
         static_cast<std::uint32_t>(round_.pattern_pool.size()));
-    volumes_.push_back(Subcube{g.prefix & ~span_mask, g.free_mask | span_mask});
+    if (sopt_.collision_mode == CollisionMode::kPairSweep) {
+      volumes_.push_back(
+          Subcube{g.prefix & ~span_mask, g.free_mask | span_mask});
+    }
   }
 
   void end_round() {
@@ -402,8 +460,9 @@ class SymbolicBroadcastValidator {
 
   // ---- results ---------------------------------------------------------
 
-  /// Final verdict: endgame canonical reduction plus completion and
-  /// minimum-time.  Idempotent.
+  /// Final verdict: the exact-cover endgame (occupancy consumption in
+  /// ledger mode, canonical reduction in pair-sweep mode) plus
+  /// completion and minimum-time.  Idempotent.
   [[nodiscard]] ValidationReport finish() {
     if (finished_) return rep_;
     finished_ = true;
@@ -416,19 +475,58 @@ class SymbolicBroadcastValidator {
            std::to_string(order_));
       return rep_;
     }
-    const auto canon =
-        canonical_reduce(frontier_.to_entries(), n_, sopt_.reduce_budget);
-    if (!canon) {
-      fail("endgame canonical reduction exceeded its budget");
-      return rep_;
-    }
-    if (canon->size() != 1 || (*canon)[0].mask != mask_low(n_) ||
-        (*canon)[0].mult != 1) {
-      // The multiset totals 2^n but is not the cube covered once: some
-      // receiver collided with an informed vertex or another receiver.
-      fail("informed multiset is not the cube covered exactly once "
-           "(receiver collision)");
-      return rep_;
+    // The endgame: the informed multiset must be the cube covered exactly
+    // once.  In ledger mode that is the occupancy argument once more —
+    // every entry has multiplicity one and the entries are pairwise
+    // disjoint, which together with the exact 2^n total forces an exact
+    // cover, at O(entries * n) instead of the canonical reduction's
+    // worst case (the designed n = 63 spec ends on ~11 M fragmented
+    // subcubes, beyond any sensible reduction budget).  Pair-sweep mode
+    // keeps the canonical reduction for cross-checking; identical
+    // verdicts and messages (enforced by parity tests).
+    if (sopt_.collision_mode == CollisionMode::kLedger) {
+      occupancy_.clear();
+      bool mult_clean = true;
+      std::uint32_t idx = 0;
+      frontier_.for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
+        if (mult != 1) mult_clean = false;
+        occupancy_.claim(1, p, m, idx++);
+      });
+      stats_.occupancy_claims += occupancy_.num_claims();
+      const OccupancyOutcome out =
+          mult_clean ? occupancy_.check(pool_.get(),
+                                        sopt_.ledger_budget_per_claim,
+                                        sopt_.ledger_bucket_budget_base)
+                     : OccupancyOutcome{};
+      if (mult_clean && out.status == OccupancyStatus::kBudgetExceeded) {
+        fail("endgame occupancy check exceeded its budget (ledger bucket "
+             "budget " +
+             std::to_string(out.budget) +
+             "; raise SymbolicCheckOptions::ledger_budget_per_claim)");
+        return rep_;
+      }
+      if (!mult_clean || out.status == OccupancyStatus::kDoubleClaim) {
+        fail("informed multiset is not the cube covered exactly once "
+             "(receiver collision)");
+        return rep_;
+      }
+    } else {
+      const auto canon =
+          canonical_reduce(frontier_.to_entries(), n_, sopt_.reduce_budget);
+      if (!canon) {
+        fail("endgame canonical reduction exceeded its budget (node budget " +
+             std::to_string(sopt_.reduce_budget) +
+             "; raise SymbolicCheckOptions::reduce_budget)");
+        return rep_;
+      }
+      if (canon->size() != 1 || (*canon)[0].mask != mask_low(n_) ||
+          (*canon)[0].mult != 1) {
+        // The multiset totals 2^n but is not the cube covered once: some
+        // receiver collided with an informed vertex or another receiver.
+        fail("informed multiset is not the cube covered exactly once "
+             "(receiver collision)");
+        return rep_;
+      }
     }
     rep_.ok = true;
     rep_.minimum_time = rep_.rounds == ceil_log2(order_) && rep_.informed == order_;
@@ -460,7 +558,9 @@ class SymbolicBroadcastValidator {
     std::atomic<bool> mismatch{false};
     std::atomic<bool> budget_hit{false};
     const std::uint64_t per_entry_budget =
-        static_cast<std::uint64_t>(round_.groups.size()) * 4 + 65536;
+        sopt_.tiling_budget != 0
+            ? sopt_.tiling_budget
+            : static_cast<std::uint64_t>(round_.groups.size()) * 4 + 65536;
     auto check_entry = [&](Vertex ep, Vertex em, std::uint64_t mult) {
       std::uint64_t budget = per_entry_budget;
       auto consume = [&](auto&& self, Vertex p, Vertex m) -> bool {
@@ -514,7 +614,9 @@ class SymbolicBroadcastValidator {
     });
     ledger_.clear();
     if (budget_hit.load(std::memory_order_relaxed)) {
-      fail(where + "caller tiling budget exceeded");
+      fail(where + "caller tiling budget exceeded (per-entry budget " +
+           std::to_string(per_entry_budget) +
+           "; raise SymbolicCheckOptions::tiling_budget)");
       return false;
     }
     if (mismatch.load(std::memory_order_relaxed)) {
@@ -530,14 +632,74 @@ class SymbolicBroadcastValidator {
     return true;
   }
 
+  /// Concurrent-group disjointness, dispatched on the configured mode.
+  /// Both modes produce bit-for-bit identical reports (enforced by
+  /// parity tests on clean runs and on every single-violation
+  /// schedule); only the cost model differs.  Sole caveat: a round
+  /// containing BOTH an edge collision and a vertex collision on
+  /// *different* group pairs fails at the same round in both modes but
+  /// may pick the other collision's message — the pair sweep resolves
+  /// in candidate-pair order (edges before vertices per pair), the
+  /// ledger in family order (all edge dimensions, then vertices).
+  bool check_collisions(const std::string& where) {
+    return sopt_.collision_mode == CollisionMode::kLedger
+               ? check_collisions_ledger(where)
+               : check_collisions_pair_sweep(where);
+  }
+
+  /// Dyadic occupancy ledger: every hop's edge subcube is claimed into
+  /// the family of its flip dimension (vertex subcubes into family
+  /// n + 1 under the vertex-disjoint model, checked after all edge
+  /// families — the pair sweep's per-candidate order); a double-claim
+  /// is an exact collision, with no candidate pair ever enumerated.
+  bool check_collisions_ledger(const std::string& where) {
+    occupancy_.clear();
+    const int vertex_family = n_ + 1;
+    detail::claim_round_edge_subcubes(round_, occupancy_);
+    if (opt_.require_vertex_disjoint) {
+      for (std::size_t gi = 0; gi < round_.groups.size(); ++gi) {
+        const CallGroup& g = round_.groups[gi];
+        for (const Vertex x : pattern_of(gi)) {
+          occupancy_.claim(vertex_family, g.prefix ^ x, g.free_mask,
+                           static_cast<std::uint32_t>(gi));
+        }
+      }
+    }
+    stats_.occupancy_claims += occupancy_.num_claims();
+    const OccupancyOutcome out =
+        occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
+                         sopt_.ledger_bucket_budget_base);
+    switch (out.status) {
+      case OccupancyStatus::kDisjoint:
+        return true;
+      case OccupancyStatus::kBudgetExceeded:
+        fail(where + "collision analysis exceeded its budget (ledger bucket "
+                     "budget " +
+             std::to_string(out.budget) +
+             "; raise SymbolicCheckOptions::ledger_budget_per_claim)");
+        return false;
+      case OccupancyStatus::kDoubleClaim:
+        fail(where +
+             (out.family == vertex_family
+                  ? "vertex collision between concurrent call groups "
+                    "(vertex-disjoint model)"
+                  : "edge collision between concurrent call groups"));
+        return false;
+    }
+    return false;  // unreachable
+  }
+
   /// Candidate pairs by call-volume disjointness, then exact
   /// route-pattern collision analysis per candidate (sharded across the
   /// pool; the smallest failing candidate wins, as in the serial loop).
-  bool check_collisions(const std::string& where) {
+  bool check_collisions_pair_sweep(const std::string& where) {
     const auto pairs = find_overlapping_pairs(volumes_, sopt_.collision_budget,
                                               sopt_.max_collision_pairs);
     if (!pairs) {
-      fail(where + "collision analysis exceeded its budget");
+      fail(where + "collision analysis exceeded its budget (node budget " +
+           std::to_string(sopt_.collision_budget) +
+           "; raise SymbolicCheckOptions::collision_budget or switch to "
+           "CollisionMode::kLedger)");
       return false;
     }
     stats_.collision_candidates += pairs->size();
@@ -614,7 +776,8 @@ class SymbolicBroadcastValidator {
   // Round-local group storage: one recycled SymbolicRound (patterns
   // pooled in its 32-bit-offset layout; no deduplication needed here).
   SymbolicRound round_;
-  std::vector<Subcube> volumes_;
+  std::vector<Subcube> volumes_;  ///< kPairSweep mode only
+  OccupancyLedger occupancy_;     ///< kLedger mode
   bool round_multihop_ = false;
 
   ValidationReport rep_;

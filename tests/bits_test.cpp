@@ -83,7 +83,9 @@ TEST(Bitstring, GrayCodeIsHamiltonian) {
     EXPECT_LT(g, 1u << n);
     EXPECT_FALSE(seen[g]);
     seen[g] = 1;
-    if (i > 0) EXPECT_EQ(hamming_distance(gray_code(i - 1), g), 1);
+    if (i > 0) {
+      EXPECT_EQ(hamming_distance(gray_code(i - 1), g), 1);
+    }
     EXPECT_EQ(gray_rank(g), i);
   }
 }
@@ -145,7 +147,9 @@ TEST_P(CeilRootProperty, LeastRootHolds) {
   for (std::int64_t x = 1; x <= 5000; ++x) {
     const int r = ceil_root(x, k);
     EXPECT_GE(ipow(r, k), x);
-    if (r > 1) EXPECT_LT(ipow(r - 1, k), x);
+    if (r > 1) {
+      EXPECT_LT(ipow(r - 1, k), x);
+    }
   }
 }
 

@@ -95,7 +95,9 @@ TEST(RouteFlip, LengthBoundHoldsAcrossDesignedKSweep) {
           EXPECT_TRUE(spec.has_edge(p[j], p[j + 1]));
         }
         // Core dimensions must be direct edges (bound 1 is tight).
-        if (spec.level_of_dim(i) < 0) EXPECT_EQ(p.size(), 2u);
+        if (spec.level_of_dim(i) < 0) {
+          EXPECT_EQ(p.size(), 2u);
+        }
       }
     }
   }
@@ -186,7 +188,13 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) {
       std::string name = "n" + std::to_string(info.param.n) + "k" +
                          std::to_string(info.param.cuts.size() + 1);
-      for (int c : info.param.cuts) name += "_" + std::to_string(c);
+      // Appending piecewise (not via `"_" + std::to_string(c)`) dodges
+      // GCC 12's bogus -Wrestrict on operator+(const char*, string&&),
+      // which -Werror would otherwise promote.
+      for (int c : info.param.cuts) {
+        name += '_';
+        name += std::to_string(c);
+      }
       return name;
     });
 

@@ -50,7 +50,12 @@ INSTANTIATE_TEST_SUITE_P(KnownValues, DomaticExact,
                                            DomaticCase{3, 4}, DomaticCase{4, 4},
                                            DomaticCase{5, 4}),
                          [](const auto& info) {
-                           return "m" + std::to_string(info.param.m);
+                           // Piecewise append dodges GCC 12's bogus
+                           // -Wrestrict on operator+(const char*,
+                           // string&&) under -Werror.
+                           std::string name = "m";
+                           name += std::to_string(info.param.m);
+                           return name;
                          });
 
 TEST(Domatic, ExactNeverBelowLemma2) {
@@ -73,7 +78,9 @@ TEST(Domatic, TinyBudgetReportsUnproven) {
   // anything; the result must not claim optimality (unless it found the
   // upper bound immediately).
   const DomaticResult r = max_condition_a_labels(5, 10);
-  if (r.lambda < 6) EXPECT_FALSE(r.proven_optimal);
+  if (r.lambda < 6) {
+    EXPECT_FALSE(r.proven_optimal);
+  }
 }
 
 }  // namespace

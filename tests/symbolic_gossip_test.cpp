@@ -296,6 +296,84 @@ TEST(SymbolicGossipViolations, DimensionMismatchRefused) {
   EXPECT_NE(rep.error.find("does not match"), std::string::npos) << rep.error;
 }
 
+// ---- collision modes: ledger vs pair sweep ----------------------------
+
+TEST(SymbolicGossipModes, LedgerAndPairSweepReportsMatch) {
+  SymbolicGossipOptions pair_sweep;
+  pair_sweep.collision_mode = CollisionMode::kPairSweep;
+  for (const int n : {8, 10, 13}) {
+    for (int k = 2; k <= 4; ++k) {
+      const auto spec = design_sparse_hypercube(n, k);
+      const auto ledger = certify_gossip_symbolic(spec, 0);
+      const auto pairs = certify_gossip_symbolic(spec, 0, pair_sweep);
+      expect_same_report(pairs.report, ledger.report,
+                         ("modes n=" + std::to_string(n) +
+                          " k=" + std::to_string(k))
+                             .c_str());
+      ASSERT_TRUE(ledger.report.ok) << ledger.report.error;
+      EXPECT_EQ(ledger.checks.collision_candidates, 0u)
+          << "ledger mode never enumerates candidate pairs";
+    }
+  }
+  const auto ledger = certify_exchange_gossip_symbolic(13);
+  const auto pairs = certify_exchange_gossip_symbolic(13, pair_sweep);
+  expect_same_report(pairs.report, ledger.report, "exchange modes");
+  ASSERT_TRUE(ledger.report.ok) << ledger.report.error;
+}
+
+TEST(SymbolicGossipModes, HandcraftedViolationsMatchBitForBit) {
+  SymbolicGossipOptions pair_sweep;
+  pair_sweep.collision_mode = CollisionMode::kPairSweep;
+
+  // Overlapping endpoints (a duplicated exchange group).
+  auto dup = hypercube_exchange_gossip_symbolic(5);
+  dup.rounds[1].groups.push_back(dup.rounds[1].groups[0]);
+  dup.rounds[1].group_pattern.push_back(dup.rounds[1].group_pattern[0]);
+  const auto dup_ledger = check_on_cube(dup, 5, 1);
+  const auto dup_pairs = check_on_cube(dup, 5, 1, pair_sweep);
+  EXPECT_FALSE(dup_ledger.ok);
+  EXPECT_NE(dup_ledger.error.find("two exchanges"), std::string::npos)
+      << dup_ledger.error;
+  expect_same_report(dup_pairs, dup_ledger, "duplicated endpoints");
+
+  // A shared edge between two concurrent multi-hop exchanges.
+  SymbolicScheduleBuilder b(0, 3);
+  b.begin_round();
+  CallGroup g;
+  g.prefix = 0b010;
+  g.free_mask = 0;
+  g.count = 1;
+  const Vertex p1[] = {0, 0b010, 0b011};
+  b.end_call_group(g, p1);
+  g.prefix = 0b011;
+  const Vertex p2[] = {0, 0b010, 0b011};
+  b.end_call_group(g, p2);
+  b.end_round();
+  const auto shared = std::move(b).take();
+  const auto edge_ledger = check_on_cube(shared, 3, 2);
+  const auto edge_pairs = check_on_cube(shared, 3, 2, pair_sweep);
+  EXPECT_FALSE(edge_ledger.ok);
+  EXPECT_NE(edge_ledger.error.find("edge collision"), std::string::npos)
+      << edge_ledger.error;
+  expect_same_report(edge_pairs, edge_ledger, "shared edge");
+}
+
+TEST(SymbolicGossipModes, PairSweepBudgetMessageNamesRoundBudgetAndKnob) {
+  // Every round's endpoint sweep sees at least two subcubes, so a
+  // node budget of 1 trips immediately — and the message must name the
+  // round, the budget, and the knob.
+  SymbolicGossipOptions starved;
+  starved.collision_mode = CollisionMode::kPairSweep;
+  starved.collision_budget = 1;
+  const auto rep =
+      check_on_cube(hypercube_exchange_gossip_symbolic(5), 5, 1, starved);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.error,
+            "round 1: endpoint disjointness analysis exceeded its budget "
+            "(node budget 1; raise SymbolicGossipOptions::collision_budget "
+            "or switch to CollisionMode::kLedger)");
+}
+
 // ---- the boundary ------------------------------------------------------
 
 TEST(SymbolicGossipBoundary, ExchangeGossipCertifiesAtN59WithExactCount) {

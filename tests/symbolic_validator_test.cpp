@@ -454,6 +454,238 @@ TEST(SymbolicThreads, ShardedGroupChecksReproduceTheSerialReport) {
   expect_same_report(serial_rep, sharded_rep, "threads=4 vs threads=1 failing");
 }
 
+// ---- collision modes: ledger vs pair sweep ----------------------------
+
+TEST(CollisionModes, LedgerAndPairSweepReportsMatchForAllNUpTo24AcrossK234) {
+  // The dyadic occupancy ledger (default) and the original candidate
+  // pair sweep must produce bit-for-bit identical reports on the whole
+  // cross-checkable range; ledger mode never enumerates a candidate.
+  SymbolicCheckOptions pair_sweep;
+  pair_sweep.collision_mode = CollisionMode::kPairSweep;
+  for (int n = 5; n <= 24; ++n) {
+    for (int k = 2; k <= 4; ++k) {
+      if (n <= k + 1) continue;
+      const auto spec = design_sparse_hypercube(n, k);
+      ValidationOptions opt;
+      opt.k = spec.k();
+      const auto ledger = certify_broadcast_symbolic(spec, 0, opt);
+      const auto pairs = certify_broadcast_symbolic(spec, 0, opt, pair_sweep);
+      expect_same_report(pairs.report, ledger.report,
+                         ("modes n=" + std::to_string(n) +
+                          " k=" + std::to_string(k))
+                             .c_str());
+      ASSERT_TRUE(ledger.report.ok) << ledger.report.error;
+      EXPECT_EQ(ledger.checks.collision_candidates, 0u);
+    }
+  }
+}
+
+TEST(CollisionModes, VertexDisjointModelMatchesAcrossModesToo) {
+  SymbolicCheckOptions pair_sweep;
+  pair_sweep.collision_mode = CollisionMode::kPairSweep;
+  for (const int n : {8, 12, 16}) {
+    for (int k = 2; k <= 4; ++k) {
+      const auto spec = design_sparse_hypercube(n, k);
+      ValidationOptions opt;
+      opt.k = spec.k();
+      opt.require_vertex_disjoint = true;
+      const auto ledger = certify_broadcast_symbolic(spec, 0, opt);
+      const auto pairs = certify_broadcast_symbolic(spec, 0, opt, pair_sweep);
+      expect_same_report(pairs.report, ledger.report, "vertex-disjoint modes");
+      ASSERT_TRUE(ledger.report.ok) << ledger.report.error;
+    }
+  }
+}
+
+/// Hand-built Q_3 schedule on the full-cube oracle: round 1 informs
+/// vertex 1; round 2's two groups walk the given patterns from callers
+/// 0 and 1 (which tile the informed set, so the collision clauses are
+/// what decides).
+SymbolicSchedule q3_two_group_schedule(const std::vector<Vertex>& patt_a,
+                                       const std::vector<Vertex>& patt_b) {
+  SymbolicScheduleBuilder b(0, 3);
+  b.begin_round();
+  CallGroup g;
+  g.prefix = 0;
+  g.free_mask = 0;
+  g.count = 1;
+  const Vertex first[] = {0, 1};
+  b.end_call_group(g, first);
+  b.end_round();
+  b.begin_round();
+  b.end_call_group(g, patt_a);
+  g.prefix = 1;
+  b.end_call_group(g, patt_b);
+  b.end_round();
+  return std::move(b).take();
+}
+
+TEST(CollisionModes, HandcraftedEdgeCollisionMatchesBitForBit) {
+  // A: 0 -> 2 -> 6 uses edge {0, 2}; B: 1 -> 3 -> 2 -> 0 re-crosses it
+  // on its last hop.  Both modes must reject with the identical report.
+  const auto s = q3_two_group_schedule({0, 2, 6}, {0, 2, 3, 1});
+  const CubeOracle oracle(3);
+  ValidationOptions opt;
+  opt.k = 3;
+  SymbolicCheckOptions ledger;
+  SymbolicCheckOptions pair_sweep;
+  pair_sweep.collision_mode = CollisionMode::kPairSweep;
+  const auto a = validate_broadcast_symbolic(oracle, s, opt, ledger);
+  const auto b = validate_broadcast_symbolic(oracle, s, opt, pair_sweep);
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.error.find("edge collision between concurrent call groups"),
+            std::string::npos)
+      << a.error;
+  expect_same_report(b, a, "handcrafted edge collision");
+}
+
+TEST(CollisionModes, HandcraftedVertexCollisionMatchesBitForBit) {
+  // A: 0 -> 2 -> 6 and B: 1 -> 3 -> 2 share vertex 2 over disjoint
+  // edges: legal in the edge-disjoint model, a collision under the
+  // Section-5 vertex-disjoint model — identically in both modes.
+  const auto s = q3_two_group_schedule({0, 2, 6}, {0, 2, 3});
+  const CubeOracle oracle(3);
+  ValidationOptions opt;
+  opt.k = 3;
+  SymbolicCheckOptions ledger;
+  SymbolicCheckOptions pair_sweep;
+  pair_sweep.collision_mode = CollisionMode::kPairSweep;
+
+  opt.require_vertex_disjoint = true;
+  const auto a = validate_broadcast_symbolic(oracle, s, opt, ledger);
+  const auto b = validate_broadcast_symbolic(oracle, s, opt, pair_sweep);
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.error.find("vertex collision between concurrent call groups "
+                         "(vertex-disjoint model)"),
+            std::string::npos)
+      << a.error;
+  expect_same_report(b, a, "handcrafted vertex collision");
+
+  // Edge-disjoint model: no collision clause fires (the schedule still
+  // fails later, identically in both modes).
+  opt.require_vertex_disjoint = false;
+  const auto c = validate_broadcast_symbolic(oracle, s, opt, ledger);
+  const auto d = validate_broadcast_symbolic(oracle, s, opt, pair_sweep);
+  EXPECT_EQ(c.error.find("collision between concurrent"), std::string::npos)
+      << c.error;
+  expect_same_report(d, c, "edge-disjoint fallthrough");
+}
+
+// ---- budget-exhaustion diagnostics ------------------------------------
+
+TEST(BudgetDiagnostics, TilingBudgetMessageNamesRoundBudgetAndKnob) {
+  // Q_2 hand-built: round 2's singleton groups force one dyadic split
+  // of the coalesced frontier entry {0, mask 01} — two extra consume
+  // nodes a per-entry budget of 1 cannot afford.
+  SymbolicScheduleBuilder b(0, 2);
+  CallGroup g;
+  g.prefix = 0;
+  g.free_mask = 0;
+  g.count = 1;
+  const Vertex d1[] = {0, 1};
+  const Vertex d2[] = {0, 2};
+  b.begin_round();
+  b.end_call_group(g, d1);
+  b.end_round();
+  b.begin_round();
+  b.end_call_group(g, d2);
+  g.prefix = 1;
+  b.end_call_group(g, d2);
+  b.end_round();
+  const auto s = std::move(b).take();
+  const CubeOracle oracle(2);
+  ValidationOptions opt;
+  opt.k = 2;
+
+  // Sane budgets: the schedule is a clean minimum-time broadcast.
+  const auto ok = validate_broadcast_symbolic(oracle, s, opt);
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_TRUE(ok.minimum_time);
+
+  SymbolicCheckOptions starved;
+  starved.tiling_budget = 1;
+  const auto rep = validate_broadcast_symbolic(oracle, s, opt, starved);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.error,
+            "round 2: caller tiling budget exceeded (per-entry budget 1; "
+            "raise SymbolicCheckOptions::tiling_budget)");
+}
+
+TEST(BudgetDiagnostics, PairSweepBudgetMessageNamesRoundBudgetAndKnob) {
+  SymbolicCheckOptions starved;
+  starved.collision_mode = CollisionMode::kPairSweep;
+  starved.collision_budget = 1;
+  const auto spec = design_sparse_hypercube(10, 2);
+  ValidationOptions opt;
+  opt.k = spec.k();
+  const auto cert = certify_broadcast_symbolic(spec, 0, opt, starved);
+  EXPECT_FALSE(cert.report.ok);
+  EXPECT_NE(cert.report.error.find("round "), std::string::npos)
+      << cert.report.error;
+  EXPECT_NE(cert.report.error.find(
+                "collision analysis exceeded its budget (node budget 1; "
+                "raise SymbolicCheckOptions::collision_budget"),
+            std::string::npos)
+      << cert.report.error;
+}
+
+TEST(BudgetDiagnostics, LedgerBudgetMessageNamesRoundBudgetAndKnob) {
+  // Q_3 hand-built so that round 3's dimension-3 edge family puts two
+  // claims into one ledger bucket (singleton callers 1 and 3 agree on
+  // the varying bucket bit), which a zero budget cannot walk.  The
+  // groups are low-first dyadic pieces of the frontier entry {0, mask
+  // 11}, so the caller-tiling consumption accepts them and the
+  // collision clause is what decides.
+  SymbolicScheduleBuilder b(0, 3);
+  CallGroup g;
+  g.prefix = 0;
+  g.free_mask = 0;
+  g.count = 1;
+  {
+    const Vertex patt[] = {0, 1};
+    b.begin_round();
+    b.end_call_group(g, patt);
+    b.end_round();
+  }
+  {
+    const Vertex patt[] = {0, 2};
+    b.begin_round();
+    g.free_mask = 1;
+    g.count = 2;
+    b.end_call_group(g, patt);
+    b.end_round();
+  }
+  {
+    b.begin_round();
+    const Vertex wide[] = {0, 4};
+    g.free_mask = 2;
+    g.count = 2;
+    g.prefix = 0;
+    b.end_call_group(g, wide);  // {0,2} -> {4,6}
+    g.free_mask = 0;
+    g.count = 1;
+    g.prefix = 1;
+    b.end_call_group(g, wide);  // 1 -> 5
+    g.prefix = 3;
+    const Vertex two_hop[] = {0, 4, 5};
+    b.end_call_group(g, two_hop);  // 3 -> 7 -> 6 (multihop round)
+    b.end_round();
+  }
+  const auto s = std::move(b).take();
+  const CubeOracle oracle(3);
+  ValidationOptions opt;
+  opt.k = 2;
+
+  SymbolicCheckOptions starved;
+  starved.ledger_budget_per_claim = 0;
+  starved.ledger_bucket_budget_base = 0;
+  const auto rep = validate_broadcast_symbolic(oracle, s, opt, starved);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.error,
+            "round 3: collision analysis exceeded its budget (ledger bucket "
+            "budget 0; raise SymbolicCheckOptions::ledger_budget_per_claim)");
+}
+
 TEST(SymbolicStats, GroupCompressionIsPolynomialWhileCallsAreExponential) {
   // n = 24, k = 2: 2^24 - 1 calls out of ~5k groups.
   const auto spec = design_sparse_hypercube(24, 2);
