@@ -123,7 +123,7 @@ def check_time(what, fresh_secs, base_secs, tolerance, failures):
             "regression)")
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh-schedule", default="BENCH_schedule.fresh.json")
     ap.add_argument("--fresh-sweep", default="BENCH_sweep.fresh.jsonl")
@@ -133,7 +133,7 @@ def main():
                     default=float(os.environ.get("SHC_BENCH_TOLERANCE", "0.25")))
     ap.add_argument("--skip", action="store_true",
                     default=os.environ.get("SHC_BENCH_SKIP", "") == "1")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     if args.skip:
         print("check_bench: SKIPPED (SHC_BENCH_SKIP/--skip set)")

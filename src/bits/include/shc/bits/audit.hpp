@@ -1,0 +1,54 @@
+// SHC_AUDIT — the compile-time invariant auditor.
+//
+// The symbolic engines' verdicts are proofs, and the proofs lean on
+// internal contracts the public test suite can only probe from the
+// outside: the frontier's coalesce postconditions, the occupancy
+// ledger's bucket partition, the knowledge partition's canonical order,
+// the worker pool's generation discipline.  Building with -DSHC_AUDIT
+// (CMake option SHC_AUDIT) compiles those contracts in as hard checks:
+// a violation aborts with the failed condition, the contract's name,
+// and the source location — turning "the invariant silently broke three
+// PRs ago" into an immediate CI failure.  The checks are O(small) per
+// operation by design (expensive sweeps are capped), but they are NOT
+// free: audit builds are for the small-n parity suites (CI's
+// audit+ASan leg), never for production certification runs.
+//
+// Usage:
+//   SHC_AUDIT_CHECK(cond, "what contract this protects");
+//   #if SHC_AUDIT_ENABLED
+//     ... audit-only bookkeeping / sweeps ...
+//   #endif
+//
+// When SHC_AUDIT is off (the default), SHC_AUDIT_CHECK compiles to
+// nothing and evaluates nothing.
+#pragma once
+
+#if defined(SHC_AUDIT)
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SHC_AUDIT_ENABLED 1
+
+namespace shc::detail {
+
+[[noreturn]] inline void audit_fail(const char* cond, const char* what,
+                                    const char* file, int line) noexcept {
+  std::fprintf(stderr,
+               "SHC_AUDIT violation: %s\n  contract: %s\n  at %s:%d\n", cond,
+               what, file, line);
+  std::abort();
+}
+
+}  // namespace shc::detail
+
+#define SHC_AUDIT_CHECK(cond, what)                                   \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::shc::detail::audit_fail(#cond, (what), __FILE__, __LINE__))
+
+#else  // !defined(SHC_AUDIT)
+
+#define SHC_AUDIT_ENABLED 0
+#define SHC_AUDIT_CHECK(cond, what) static_cast<void>(0)
+
+#endif

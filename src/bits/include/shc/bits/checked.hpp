@@ -44,4 +44,18 @@ namespace shc {
   return true;
 }
 
+/// acc += v, saturating at UINT64_MAX; returns false when it saturated.
+/// For diagnostics counters (stats, effort totals) where a pinned
+/// ceiling is more useful than refusing the run — verdict-bearing
+/// counters use checked_acc_u64 and fail explicitly instead.
+inline bool saturating_acc_u64(std::uint64_t& acc, std::uint64_t v) noexcept {
+  std::uint64_t r = 0;
+  if (__builtin_add_overflow(acc, v, &r)) {
+    acc = ~std::uint64_t{0};
+    return false;
+  }
+  acc = r;
+  return true;
+}
+
 }  // namespace shc

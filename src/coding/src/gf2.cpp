@@ -1,15 +1,24 @@
 #include "shc/coding/gf2.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace shc {
 
 Gf2Matrix::Gf2Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
-  assert(rows >= 0 && cols >= 0 && cols <= 63);
+  if (rows < 0 || cols < 0 || cols > 63) {
+    throw std::invalid_argument("Gf2Matrix: need rows >= 0 and cols in "
+                                "[0, 63], got rows=" +
+                                std::to_string(rows) +
+                                " cols=" + std::to_string(cols));
+  }
   row_.assign(static_cast<std::size_t>(rows), 0);
 }
 
 void Gf2Matrix::set(int r, int c, int value) noexcept {
+  // shc-lint: allow(assert-guard) — noexcept hot-path accessor; the
+  // bounds are the caller's contract, not user input.
   assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
   const std::uint64_t bit = std::uint64_t{1} << c;
   if (value != 0) {
@@ -53,7 +62,10 @@ int Gf2Matrix::rank() const {
 }
 
 std::vector<std::uint64_t> span(const std::vector<std::uint64_t>& generators) {
-  assert(generators.size() <= 20);
+  if (generators.size() > 20) {
+    throw std::invalid_argument("span: at most 20 generators supported, got " +
+                                std::to_string(generators.size()));
+  }
   std::vector<std::uint64_t> out;
   out.reserve(std::size_t{1} << generators.size());
   out.push_back(0);

@@ -1,12 +1,17 @@
 #include "shc/coding/hamming.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace shc {
 
 HammingCode::HammingCode(int p)
     : p_(p), m_((1 << p) - 1), check_(p, (1 << p) - 1) {
-  assert(p >= 1 && p <= 6);
+  if (p < 1 || p > 6) {
+    throw std::invalid_argument("HammingCode: p must be in [1, 6], got " +
+                                std::to_string(p));
+  }
   // Column i (1-based) of the parity-check matrix is the binary
   // representation of i itself; every nonzero p-bit vector appears
   // exactly once, which is the defining property of the Hamming code.
@@ -24,12 +29,16 @@ std::uint32_t HammingCode::syndrome(Vertex word) const noexcept {
 }
 
 std::uint32_t HammingCode::column(Dim i) const noexcept {
+  // shc-lint: allow(assert-guard) — noexcept hot-path accessor; the
+  // range is the caller's contract, not user input.
   assert(i >= 1 && i <= m_);
   // With the canonical ordering above, the column for coordinate i is i.
   return static_cast<std::uint32_t>(i);
 }
 
 Dim HammingCode::correcting_dim(std::uint32_t s, std::uint32_t t) const noexcept {
+  // shc-lint: allow(assert-guard) — noexcept hot-path accessor; the
+  // syndromes are computed internally, not user input.
   assert(s != t && s < static_cast<std::uint32_t>(num_syndromes()) &&
          t < static_cast<std::uint32_t>(num_syndromes()));
   // Flipping coordinate i adds column(i) = i to the syndrome, so the
@@ -38,7 +47,11 @@ Dim HammingCode::correcting_dim(std::uint32_t s, std::uint32_t t) const noexcept
 }
 
 std::vector<Vertex> HammingCode::codewords() const {
-  assert(p_ <= 5);
+  if (p_ > 5) {
+    throw std::invalid_argument(
+        "HammingCode::codewords: enumeration supported only for p <= 5, "
+        "this code has p = " + std::to_string(p_));
+  }
   std::vector<Vertex> words;
   words.reserve(cube_order(m_ - p_));
   for (Vertex u = 0; u < cube_order(m_); ++u) {
@@ -48,9 +61,17 @@ std::vector<Vertex> HammingCode::codewords() const {
 }
 
 bool is_perfect_covering(const std::vector<Vertex>& code, int m) {
-  assert(m >= 1 && m <= 24);
+  if (m < 1 || m > 24) {
+    throw std::invalid_argument("is_perfect_covering: m must be in [1, 24], "
+                                "got " + std::to_string(m));
+  }
   std::vector<std::uint8_t> covered(cube_order(m), 0);
   for (Vertex c : code) {
+    if (c >= cube_order(m)) {
+      throw std::invalid_argument("is_perfect_covering: codeword " +
+                                  std::to_string(c) + " outside Q_" +
+                                  std::to_string(m));
+    }
     if (++covered[c] > 1) return false;
     for (Dim i = 1; i <= m; ++i) {
       if (++covered[flip(c, i)] > 1) return false;

@@ -276,7 +276,7 @@ class SymbolicGossipValidator {
         occupancy_.claim(1, endpoints_[ei].prefix, endpoints_[ei].mask,
                          static_cast<std::uint32_t>(ei / 2));
       }
-      stats_.occupancy_claims += occupancy_.num_claims();
+      saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
       const OccupancyOutcome out =
           occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
                            sopt_.ledger_bucket_budget_base);
@@ -317,7 +317,7 @@ class SymbolicGossipValidator {
     if (sopt_.collision_mode == CollisionMode::kLedger) {
       occupancy_.clear();
       detail::claim_round_edge_subcubes(round_, occupancy_);
-      stats_.occupancy_claims += occupancy_.num_claims();
+      saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
       const OccupancyOutcome out =
           occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
                            sopt_.ledger_bucket_budget_base);
@@ -343,7 +343,7 @@ class SymbolicGossipValidator {
            "CollisionMode::kLedger)");
       return false;
     }
-    stats_.collision_candidates += pairs->size();
+    saturating_acc_u64(stats_.collision_candidates, pairs->size());
     const auto failure = detail::first_failure(
         pool_.get(), pairs->size(), [&](std::size_t i) {
           const auto& [a, b] = (*pairs)[i];

@@ -1,14 +1,26 @@
 #include "shc/graph/generators.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "shc/bits/vertex.hpp"
 
 namespace shc {
+namespace {
+
+/// Factory preconditions guard caller-supplied sizes; they must fail in
+/// release builds too (a bare assert vanishes under NDEBUG — the PR 2
+/// bug class), so every generator throws with the offending value.
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
 
 Graph make_hypercube(int n) {
-  assert(n >= 1 && n <= 26);
+  require(n >= 1 && n <= 26,
+          "make_hypercube: n must be in [1, 26], got " + std::to_string(n));
   const VertexId order = static_cast<VertexId>(cube_order(n));
   GraphBuilder b(order);
   for (VertexId u = 0; u < order; ++u) {
@@ -21,14 +33,14 @@ Graph make_hypercube(int n) {
 }
 
 Graph make_path(VertexId n) {
-  assert(n >= 1);
+  require(n >= 1, "make_path: n must be >= 1, got " + std::to_string(n));
   GraphBuilder b(n);
   for (VertexId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
   return std::move(b).build();
 }
 
 Graph make_cycle(VertexId n) {
-  assert(n >= 3);
+  require(n >= 3, "make_cycle: n must be >= 3, got " + std::to_string(n));
   GraphBuilder b(n);
   for (VertexId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
   b.add_edge(n - 1, 0);
@@ -36,14 +48,16 @@ Graph make_cycle(VertexId n) {
 }
 
 Graph make_star(VertexId n) {
-  assert(n >= 2);
+  require(n >= 2, "make_star: n must be >= 2, got " + std::to_string(n));
   GraphBuilder b(n);
   for (VertexId u = 1; u < n; ++u) b.add_edge(0, u);
   return std::move(b).build();
 }
 
 Graph make_complete_binary_tree(int h) {
-  assert(h >= 0 && h <= 24);
+  require(h >= 0 && h <= 24,
+          "make_complete_binary_tree: h must be in [0, 24], got " +
+              std::to_string(h));
   const VertexId order = static_cast<VertexId>((std::uint64_t{1} << (h + 1)) - 1);
   GraphBuilder b(order);
   for (VertexId v = 1; v < order; ++v) b.add_edge(v, (v - 1) / 2);
@@ -51,7 +65,8 @@ Graph make_complete_binary_tree(int h) {
 }
 
 Graph make_theorem1_tree(int h) {
-  assert(h >= 1 && h <= 24);
+  require(h >= 1 && h <= 24,
+          "make_theorem1_tree: h must be in [1, 24], got " + std::to_string(h));
   const VertexId big = static_cast<VertexId>((std::uint64_t{1} << (h + 1)) - 1);
   const VertexId small = static_cast<VertexId>((std::uint64_t{1} << h) - 1);
   GraphBuilder b(big + small);
@@ -65,7 +80,8 @@ Graph make_theorem1_tree(int h) {
 }
 
 Graph make_caterpillar(VertexId spine, VertexId legs) {
-  assert(spine >= 1);
+  require(spine >= 1,
+          "make_caterpillar: spine must be >= 1, got " + std::to_string(spine));
   GraphBuilder b(spine * (legs + 1));
   for (VertexId s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
   for (VertexId s = 0; s < spine; ++s) {
@@ -75,7 +91,7 @@ Graph make_caterpillar(VertexId spine, VertexId legs) {
 }
 
 Graph make_random_tree(VertexId n, std::mt19937_64& rng) {
-  assert(n >= 1);
+  require(n >= 1, "make_random_tree: n must be >= 1, got " + std::to_string(n));
   if (n == 1) {
     GraphBuilder b(1);
     return std::move(b).build();

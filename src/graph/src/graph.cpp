@@ -1,14 +1,18 @@
 #include "shc/graph/graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <string>
 
 namespace shc {
 
 void GraphBuilder::add_edge(VertexId u, VertexId v) {
-  assert(u < n_ && v < n_ && "endpoint out of range");
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("GraphBuilder::add_edge: endpoint out of "
+                                "range: {" +
+                                std::to_string(u) + "," + std::to_string(v) +
+                                "} with " + std::to_string(n_) + " vertices");
+  }
   edges_.push_back(make_edge(u, v));
 }
 

@@ -1,7 +1,8 @@
 #include "shc/graph/io.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "shc/bits/bitstring.hpp"
 
@@ -28,7 +29,11 @@ void write_edge_list(std::ostream& os, const Graph& g) {
 TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
-  assert(cells.size() == header_.size() && "row width must match header");
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument(
+        "TextTable::add_row: row width " + std::to_string(cells.size()) +
+        " does not match header width " + std::to_string(header_.size()));
+  }
   rows_.push_back(std::move(cells));
 }
 

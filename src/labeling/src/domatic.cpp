@@ -1,7 +1,8 @@
 #include "shc/labeling/domatic.hpp"
 
 #include <array>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace shc {
 namespace {
@@ -104,8 +105,15 @@ class DomaticSearch {
 
 std::optional<CubeLabeling> find_condition_a_labeling(int m, Label num_labels,
                                                       std::uint64_t node_budget) {
-  assert(m >= 1 && m <= 6);
-  assert(num_labels >= 1 && num_labels <= 8);
+  if (m < 1 || m > 6) {
+    throw std::invalid_argument("find_condition_a_labeling: m must be in "
+                                "[1, 6], got " + std::to_string(m));
+  }
+  if (num_labels < 1 || num_labels > 8) {
+    throw std::invalid_argument("find_condition_a_labeling: num_labels must "
+                                "be in [1, 8], got " +
+                                std::to_string(num_labels));
+  }
   if (num_labels > static_cast<Label>(m) + 1) return std::nullopt;  // upper bound
   if (num_labels == 1) return trivial_labeling(m);
   DomaticSearch search(m, num_labels, node_budget);
@@ -114,7 +122,10 @@ std::optional<CubeLabeling> find_condition_a_labeling(int m, Label num_labels,
 }
 
 DomaticResult max_condition_a_labels(int m, std::uint64_t node_budget) {
-  assert(m >= 1 && m <= 6);
+  if (m < 1 || m > 6) {
+    throw std::invalid_argument("max_condition_a_labels: m must be in "
+                                "[1, 6], got " + std::to_string(m));
+  }
   DomaticResult result;
   result.proven_optimal = true;
   for (Label lambda = static_cast<Label>(m) + 1; lambda >= 1; --lambda) {

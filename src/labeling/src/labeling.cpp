@@ -1,6 +1,8 @@
 #include "shc/labeling/labeling.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "shc/coding/hamming.hpp"
 
@@ -8,12 +10,26 @@ namespace shc {
 
 CubeLabeling::CubeLabeling(int m, Label num_labels, std::vector<Label> labels)
     : m_(m), num_labels_(num_labels), labels_(std::move(labels)) {
-  assert(m >= 1 && m <= 24);
-  assert(num_labels_ >= 1);
-  assert(labels_.size() == cube_order(m_));
-#ifndef NDEBUG
-  for (Label l : labels_) assert(l < num_labels_);
-#endif
+  if (m < 1 || m > 24) {
+    throw std::invalid_argument("CubeLabeling: m must be in [1, 24], got " +
+                                std::to_string(m));
+  }
+  if (num_labels_ < 1) {
+    throw std::invalid_argument("CubeLabeling: need at least one label, got " +
+                                std::to_string(num_labels_));
+  }
+  if (labels_.size() != cube_order(m_)) {
+    throw std::invalid_argument(
+        "CubeLabeling: label vector has " + std::to_string(labels_.size()) +
+        " entries, expected 2^" + std::to_string(m_));
+  }
+  for (Label l : labels_) {
+    if (l >= num_labels_) {
+      throw std::invalid_argument("CubeLabeling: label " + std::to_string(l) +
+                                  " outside [0, " + std::to_string(num_labels_) +
+                                  ")");
+    }
+  }
   build_flip_table();
 }
 
@@ -46,7 +62,11 @@ std::vector<std::size_t> CubeLabeling::class_sizes() const {
 }
 
 std::vector<Vertex> CubeLabeling::label_class(Label c) const {
-  assert(c < num_labels_);
+  if (c >= num_labels_) {
+    throw std::invalid_argument("CubeLabeling::label_class: label " +
+                                std::to_string(c) + " outside [0, " +
+                                std::to_string(num_labels_) + ")");
+  }
   std::vector<Vertex> members;
   for (Vertex u = 0; u < labels_.size(); ++u) {
     if (labels_[static_cast<std::size_t>(u)] == c) members.push_back(u);
@@ -59,7 +79,10 @@ CubeLabeling trivial_labeling(int m) {
 }
 
 CubeLabeling hamming_labeling(int p) {
-  assert(p >= 1 && p <= 4);
+  if (p < 1 || p > 4) {
+    throw std::invalid_argument("hamming_labeling: p must be in [1, 4], got " +
+                                std::to_string(p));
+  }
   const HammingCode code(p);
   const int m = code.length();
   std::vector<Label> labels(cube_order(m));
@@ -70,6 +93,8 @@ CubeLabeling hamming_labeling(int p) {
 }
 
 Label lemma2_num_labels(int m) noexcept {
+  // shc-lint: allow(assert-guard) — noexcept helper; lemma2_labeling
+  // validates m before release builds reach this point.
   assert(m >= 1);
   // Largest m' = 2^p - 1 with m' <= m; lambda = m' + 1.
   unsigned p = 1;
@@ -78,7 +103,10 @@ Label lemma2_num_labels(int m) noexcept {
 }
 
 CubeLabeling lemma2_labeling(int m) {
-  assert(m >= 1 && m <= 24);
+  if (m < 1 || m > 24) {
+    throw std::invalid_argument("lemma2_labeling: m must be in [1, 24], got " +
+                                std::to_string(m));
+  }
   const Label lambda = lemma2_num_labels(m);
   int p = 0;
   while ((1U << p) < lambda) ++p;

@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "shc/bits/audit.hpp"
 #include "shc/bits/vertex.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/worker_pool.hpp"
@@ -159,6 +160,18 @@ class OccupancyLedger {
         }
         buckets[at].ids.push_back(static_cast<std::uint32_t>(i));
       }
+#if SHC_AUDIT_ENABLED
+      // Bucket partition exactness: every claim of the family must land
+      // in exactly one bucket — the walks see each claim once, or the
+      // disjointness verdict is void.
+      std::uint64_t bucketed = 0;
+      for (const Bucket& bk : buckets) {
+        if (bk.family == static_cast<int>(fam)) bucketed += bk.ids.size();
+      }
+      SHC_AUDIT_CHECK(bucketed == claims.size(),
+                      "OccupancyLedger buckets must partition the family's "
+                      "claims exactly");
+#endif
     }
 
     // ---- bucket walks (sharded; smallest bucket index wins) ----------
@@ -191,7 +204,25 @@ class OccupancyLedger {
             subcube_intersection({claims[walk.hit_a].prefix, claims[walk.hit_a].mask},
                                  {claims[walk.hit_b].prefix, claims[walk.hit_b].mask});
         assert(piece.has_value());
-        if (piece) out.piece = *piece;
+        SHC_AUDIT_CHECK(
+            piece.has_value() &&
+                subcubes_overlap(
+                    {claims[walk.hit_a].prefix, claims[walk.hit_a].mask},
+                    {claims[walk.hit_b].prefix, claims[walk.hit_b].mask}),
+            "OccupancyLedger double-claim witnesses must name two "
+            "genuinely overlapping claims");
+        if (piece) {
+          SHC_AUDIT_CHECK(
+              subcube_contains({claims[walk.hit_a].prefix,
+                                claims[walk.hit_a].mask},
+                               *piece) &&
+                  subcube_contains({claims[walk.hit_b].prefix,
+                                    claims[walk.hit_b].mask},
+                                   *piece),
+              "OccupancyLedger witness piece must be contained in both "
+              "claims");
+          out.piece = *piece;
+        }
       }
       std::lock_guard<std::mutex> lock(best_m);
       if (bi < best_index) {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "shc/bits/checked.hpp"
 #include "shc/sim/flat_schedule.hpp"
 #include "shc/sim/round_sink.hpp"
 #include "shc/sim/validator.hpp"
@@ -231,7 +232,7 @@ bool try_validate_round_clean(const Net& net, const FlatSchedule& schedule,
   for (std::size_t c = first_call; c < last_call; ++c) {
     state.informed.insert(schedule.call(c).receiver());
   }
-  rep.total_calls += count;
+  saturating_acc_u64(rep.total_calls, count);
   rep.max_call_length = std::max(rep.max_call_length, round_max_len);
   return true;
 }

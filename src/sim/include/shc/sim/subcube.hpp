@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "shc/bits/audit.hpp"
 #include "shc/bits/checked.hpp"
 #include "shc/bits/vertex.hpp"
 
@@ -287,6 +288,9 @@ class SubcubeFrontier {
   /// Coalescing multiset insert of `mult` copies of (p, M).
   void insert(Vertex p, Vertex M, std::uint64_t mult = 1) {
     assert((p & M) == 0);
+    SHC_AUDIT_CHECK((p & M) == 0 && ((p | M) & ~mask_low(n_)) == 0,
+                    "SubcubeFrontier entries must be well-formed in-range "
+                    "subcubes (mask-class disjointness depends on it)");
     bump_count(M, mult);
     for (;;) {
       detail::PrefixTable& t = classes_[M];
@@ -326,6 +330,20 @@ class SubcubeFrontier {
         }
       }
       if (!merged) {
+#if SHC_AUDIT_ENABLED
+        // Coalesce postcondition: the greedy loop settles only when no
+        // equal-multiplicity sibling remains in the destination class —
+        // re-verify with direct probes (per-mask-class disjointness is
+        // keyed uniqueness plus the (p & M) == 0 checks below).
+        for (int d = 0; d < n_; ++d) {
+          const Vertex b = Vertex{1} << d;
+          if (M & b) continue;
+          const std::uint64_t* sv = t.find(p ^ b);
+          SHC_AUDIT_CHECK(!(sv && *sv == mult),
+                          "SubcubeFrontier: insert() must not leave an "
+                          "equal-multiplicity sibling uncoalesced");
+        }
+#endif
         t.add(p, mult);
         ++entries_;
         return;
@@ -337,6 +355,9 @@ class SubcubeFrontier {
   /// Non-coalescing accumulate: value `v` onto key (p, M).
   void add_raw(Vertex p, Vertex M, std::uint64_t v) {
     assert((p & M) == 0);
+    SHC_AUDIT_CHECK((p & M) == 0 && ((p | M) & ~mask_low(n_)) == 0,
+                    "SubcubeFrontier raw keys must be well-formed in-range "
+                    "subcubes");
     detail::PrefixTable& t = classes_[M];
     if (std::uint64_t* cur = t.find(p)) {
       *cur += v;
@@ -424,6 +445,19 @@ class SubcubeFrontier {
   }
 
   void clear() {
+#if SHC_AUDIT_ENABLED
+    // Entry accounting: entries_ must equal the live keys across mask
+    // classes (checked here, where the O(entries) sweep rides on a walk
+    // the caller already pays for at round boundaries).
+    std::uint64_t live = 0;
+    for (const auto& [mask, table] : classes_) {
+      static_cast<void>(mask);
+      live += table.size();
+    }
+    SHC_AUDIT_CHECK(live == entries_,
+                    "SubcubeFrontier entry count must match its mask-class "
+                    "tables");
+#endif
     classes_.clear();
     entries_ = 0;
     total_count_ = 0;

@@ -492,7 +492,7 @@ class SymbolicBroadcastValidator {
         if (mult != 1) mult_clean = false;
         occupancy_.claim(1, p, m, idx++);
       });
-      stats_.occupancy_claims += occupancy_.num_claims();
+      saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
       const OccupancyOutcome out =
           mult_clean ? occupancy_.check(pool_.get(),
                                         sopt_.ledger_budget_per_claim,
@@ -665,7 +665,7 @@ class SymbolicBroadcastValidator {
         }
       }
     }
-    stats_.occupancy_claims += occupancy_.num_claims();
+    saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
     const OccupancyOutcome out =
         occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
                          sopt_.ledger_bucket_budget_base);
@@ -702,7 +702,7 @@ class SymbolicBroadcastValidator {
            "CollisionMode::kLedger)");
       return false;
     }
-    stats_.collision_candidates += pairs->size();
+    saturating_acc_u64(stats_.collision_candidates, pairs->size());
     const auto failure = detail::first_failure(
         pool_.get(), pairs->size(), [&](std::size_t i) {
           const auto& [a, b] = (*pairs)[i];

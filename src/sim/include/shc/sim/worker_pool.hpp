@@ -11,15 +11,28 @@
 // edge-hash shards) produce bit-for-bit the same result as the
 // spawn-per-round code they replace — the existing serial/parallel
 // parity suites enforce this.
+//
+// Exceptions: a task that throws does not take the process down with
+// std::terminate.  The first exception (any thread) is captured, the
+// rest of the generation drains without executing further jobs, and
+// run() rethrows it to the caller once every job index is accounted
+// for — the pool stays fully reusable for the next generation.  Which
+// job's exception wins is first-capture order (not deterministic across
+// runs); the production kernels never throw, so this path exists for
+// robustness, not for verdicts.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "shc/bits/audit.hpp"
 
 namespace shc {
 
@@ -53,7 +66,9 @@ class WorkerPool {
 
   /// Executes fn(j) for every j in [0, jobs) exactly once, across the
   /// pool; the caller participates and the call returns when all jobs
-  /// finished.  Not reentrant.
+  /// finished.  If any job throws, the first captured exception is
+  /// rethrown here after the generation drains (remaining unclaimed
+  /// jobs are skipped); the pool remains reusable.  Not reentrant.
   void run(int jobs, const std::function<void(int)>& fn) {
     if (jobs <= 0) return;
     if (threads_.empty() || jobs == 1) {
@@ -71,13 +86,24 @@ class WorkerPool {
       jobs_ = jobs;
       next_.store(0, std::memory_order_relaxed);
       done_.store(0, std::memory_order_relaxed);
+      failed_.store(false, std::memory_order_relaxed);
+      error_ = nullptr;
+      SHC_AUDIT_CHECK(generation_ + 1 > generation_,
+                      "WorkerPool generation counter must not wrap");
       ++generation_;
     }
     cv_work_.notify_all();
     pull_jobs(fn, jobs);
     std::unique_lock<std::mutex> lock(m_);
     cv_done_.wait(lock, [&] { return done_.load(std::memory_order_acquire) >= jobs_; });
+    SHC_AUDIT_CHECK(done_.load(std::memory_order_relaxed) == jobs_,
+                    "WorkerPool generation must account every job exactly once");
     task_ = nullptr;
+    if (error_) {
+      std::exception_ptr err = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
   }
 
  private:
@@ -85,7 +111,15 @@ class WorkerPool {
     for (;;) {
       const int j = next_.fetch_add(1, std::memory_order_relaxed);
       if (j >= jobs) return;
-      fn(j);
+      if (!failed_.load(std::memory_order_relaxed)) {
+        try {
+          fn(j);
+        } catch (...) {
+          failed_.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(m_);
+          if (!error_) error_ = std::current_exception();
+        }
+      }
       if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 >= jobs) {
         std::lock_guard<std::mutex> lock(m_);
         cv_done_.notify_all();
@@ -102,6 +136,8 @@ class WorkerPool {
         std::unique_lock<std::mutex> lock(m_);
         cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
         if (stop_) return;
+        SHC_AUDIT_CHECK(generation_ > seen,
+                        "WorkerPool generations must be observed monotonically");
         seen = generation_;
         task = task_;
         jobs = jobs_;
@@ -110,6 +146,8 @@ class WorkerPool {
       if (task) pull_jobs(*task, jobs);
       {
         std::lock_guard<std::mutex> lock(m_);
+        SHC_AUDIT_CHECK(active_ > 0,
+                        "WorkerPool active-worker count must stay balanced");
         if (--active_ == 0) cv_idle_.notify_one();
       }
     }
@@ -124,8 +162,10 @@ class WorkerPool {
   int active_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  std::exception_ptr error_;  ///< first task exception of the generation
   std::atomic<int> next_{0};
   std::atomic<int> done_{0};
+  std::atomic<bool> failed_{false};
 };
 
 }  // namespace shc

@@ -5,8 +5,45 @@
 #include <unordered_set>
 #include <utility>
 
+#include "shc/bits/audit.hpp"
+
 namespace shc {
 namespace {
+
+#if SHC_AUDIT_ENABLED
+/// Audit contract for every minted knowledge set: entries canonically
+/// sorted by (mask, prefix), multiplicity one, well-formed, and pairwise
+/// disjoint.  The quadratic disjointness sweep is capped so audit builds
+/// stay usable on the parity suites; order and multiplicity are always
+/// checked in full.
+void audit_knowledge(const GossipKnowledge& k) {
+  for (std::size_t i = 0; i < k.entries.size(); ++i) {
+    const WeightedSubcube& e = k.entries[i];
+    SHC_AUDIT_CHECK(e.mult == 1,
+                    "GossipKnowledge entries must carry multiplicity one "
+                    "(knowledge is a set)");
+    SHC_AUDIT_CHECK((e.prefix & e.mask) == 0,
+                    "GossipKnowledge entries must be well-formed subcubes");
+    if (i > 0) {
+      const WeightedSubcube& p = k.entries[i - 1];
+      SHC_AUDIT_CHECK(
+          p.mask < e.mask || (p.mask == e.mask && p.prefix < e.prefix),
+          "GossipKnowledge entries must be in canonical (mask, prefix) "
+          "order");
+    }
+  }
+  if (k.entries.size() <= 1024) {
+    for (std::size_t i = 0; i < k.entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < k.entries.size(); ++j) {
+        SHC_AUDIT_CHECK(
+            !subcubes_overlap({k.entries[i].prefix, k.entries[i].mask},
+                              {k.entries[j].prefix, k.entries[j].mask}),
+            "GossipKnowledge entries must be pairwise disjoint");
+      }
+    }
+  }
+}
+#endif
 
 /// Sorted canonical entry order: content equality is vector equality.
 void sort_entries(std::vector<WeightedSubcube>& entries) {
@@ -210,6 +247,9 @@ GossipKnowledgePtr translate_knowledge(const GossipKnowledgePtr& k, Vertex delta
   sort_entries(out->entries);
   out->count = k->count;
   out->sig = content_sig(out->entries, out->count);
+#if SHC_AUDIT_ENABLED
+  audit_knowledge(*out);
+#endif
   return out;
 }
 
@@ -352,6 +392,9 @@ std::string KnowledgeClassPartition::apply_round(
       }
       merged->count = count;
       merged->sig = content_sig(merged->entries, merged->count);
+#if SHC_AUDIT_ENABLED
+      audit_knowledge(*merged);
+#endif
       r.caller_side = std::move(merged);
     }
     r.receiver_side = translate_knowledge(r.caller_side, t.delta);
@@ -416,6 +459,20 @@ std::string KnowledgeClassPartition::apply_round(
     return "knowledge classes no longer tile the cube (overlapping exchange "
            "endpoints or internal error)";
   }
+#if SHC_AUDIT_ENABLED
+  // Tiling is size-exact above; the audit adds the pairwise half of the
+  // contract (disjoint class cubes), capped to keep parity suites fast.
+  if (classes_.size() <= 512) {
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      SHC_AUDIT_CHECK((classes_[i].cube.prefix & classes_[i].cube.mask) == 0,
+                      "knowledge class cubes must be well-formed subcubes");
+      for (std::size_t j = i + 1; j < classes_.size(); ++j) {
+        SHC_AUDIT_CHECK(!subcubes_overlap(classes_[i].cube, classes_[j].cube),
+                        "knowledge class cubes must tile Q_n disjointly");
+      }
+    }
+  }
+#endif
   refresh_stats();
   return {};
 }

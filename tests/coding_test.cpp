@@ -1,6 +1,10 @@
 // Tests for GF(2) linear algebra and Hamming codes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
 #include "shc/coding/gf2.hpp"
 #include "shc/coding/hamming.hpp"
 #include "shc/graph/algorithms.hpp"
@@ -127,6 +131,22 @@ TEST(Hamming, EveryCosetDominatesTheCube) {
 TEST(Hamming, NonCodewordSetIsNotPerfectCovering) {
   // Two adjacent words double-cover their shared neighborhood.
   EXPECT_FALSE(is_perfect_covering({0b000, 0b001}, 3));
+}
+
+TEST(CodingGuards, InvalidInputsThrowInReleaseBuildsToo) {
+  // These were bare asserts (gone under NDEBUG, the PR 2 bug class);
+  // user-facing entry points now throw.
+  EXPECT_THROW((void)Gf2Matrix(-1, 3), std::invalid_argument);
+  EXPECT_THROW((void)Gf2Matrix(2, 64), std::invalid_argument);
+  EXPECT_THROW((void)HammingCode(0), std::invalid_argument);
+  EXPECT_THROW((void)HammingCode(7), std::invalid_argument);
+  EXPECT_THROW((void)HammingCode(6).codewords(), std::invalid_argument);
+  EXPECT_THROW((void)span(std::vector<std::uint64_t>(21, 1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)is_perfect_covering({0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)is_perfect_covering({0}, 25), std::invalid_argument);
+  // A codeword outside Q_m is rejected, not an out-of-bounds index.
+  EXPECT_THROW((void)is_perfect_covering({0b1000}, 3), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Tests for the exact Condition-A maximization (domatic number of Q_m).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "shc/labeling/domatic.hpp"
 
 namespace shc {
@@ -81,6 +83,17 @@ TEST(Domatic, TinyBudgetReportsUnproven) {
   if (r.lambda < 6) {
     EXPECT_FALSE(r.proven_optimal);
   }
+}
+
+TEST(DomaticGuards, InvalidInputsThrowInReleaseBuildsToo) {
+  // Search entry points validated with bare asserts before (gone under
+  // NDEBUG); they now throw for out-of-range m / num_labels.
+  EXPECT_THROW((void)find_condition_a_labeling(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)find_condition_a_labeling(7, 2), std::invalid_argument);
+  EXPECT_THROW((void)find_condition_a_labeling(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)find_condition_a_labeling(3, 9), std::invalid_argument);
+  EXPECT_THROW((void)max_condition_a_labels(0), std::invalid_argument);
+  EXPECT_THROW((void)max_condition_a_labels(7), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
+#include <string>
 
 #include "shc/graph/algorithms.hpp"
 #include "shc/bits/vertex.hpp"
@@ -97,6 +99,32 @@ TEST_P(RandomTreeProperty, PruferDecodeYieldsTrees) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(GeneratorGuards, InvalidSizesThrowInReleaseBuildsToo) {
+  // Factory preconditions used to be bare asserts, which vanish under
+  // NDEBUG (the PR 2 bug class); they are now checked throws.
+  EXPECT_THROW((void)make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW((void)make_hypercube(27), std::invalid_argument);
+  EXPECT_THROW((void)make_path(0), std::invalid_argument);
+  EXPECT_THROW((void)make_cycle(2), std::invalid_argument);
+  EXPECT_THROW((void)make_star(1), std::invalid_argument);
+  EXPECT_THROW((void)make_complete_binary_tree(-1), std::invalid_argument);
+  EXPECT_THROW((void)make_complete_binary_tree(25), std::invalid_argument);
+  EXPECT_THROW((void)make_theorem1_tree(0), std::invalid_argument);
+  EXPECT_THROW((void)make_caterpillar(0, 3), std::invalid_argument);
+  std::mt19937_64 rng(7);
+  EXPECT_THROW((void)make_random_tree(0, rng), std::invalid_argument);
+}
+
+TEST(GeneratorGuards, MessageNamesTheFactoryAndTheValue) {
+  try {
+    (void)make_hypercube(27);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "make_hypercube: n must be in [1, 26], got 27");
+  }
+}
 
 }  // namespace
 }  // namespace shc

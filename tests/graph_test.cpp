@@ -46,6 +46,43 @@ TEST(GraphBuilder, RejectsSelfLoops) {
   EXPECT_THROW((void)std::move(b).build(), std::invalid_argument);
 }
 
+TEST(GraphBuilder, RejectsOutOfRangeEndpointsUnconditionally) {
+  // Endpoint range checking was a bare assert (gone under NDEBUG, the
+  // PR 2 bug class); add_edge now throws in every build configuration.
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(3, 0), std::invalid_argument);
+  try {
+    b.add_edge(1, 7);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("{1,7}"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphAlgorithmGuards, OutOfRangeInputsThrow) {
+  // Two disjoint triangles: valid vertices for the range checks, and
+  // disconnected for the eccentricity guard.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_THROW((void)bfs_distances(g, g.num_vertices()),
+               std::invalid_argument);
+  EXPECT_THROW((void)shortest_path(g, 0, g.num_vertices()),
+               std::invalid_argument);
+  EXPECT_THROW((void)is_dominating_set(g, {0, g.num_vertices()}),
+               std::invalid_argument);
+  // Eccentricity on a disconnected graph is a caller error, not an
+  // assert: the two triangles never meet.
+  EXPECT_THROW((void)eccentricity(g, 0), std::invalid_argument);
+}
+
 TEST(Graph, BuildAndQuery) {
   const Graph g = triangle_with_tail();
   EXPECT_EQ(g.num_vertices(), 4u);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "shc/bits/bitstring.hpp"
 #include "shc/graph/generators.hpp"
@@ -91,6 +93,25 @@ TEST(ScheduleStats, CountsCallsAndLengths) {
 TEST(Bitstring, WidthMatchesCubeDim) {
   EXPECT_EQ(to_bitstring(5, 6), "000101");
   EXPECT_EQ(to_bitstring(63, 6), "111111");
+}
+
+TEST(TextTable, RejectsMismatchedRowWidthUnconditionally) {
+  // Row width checking was a bare assert (gone under NDEBUG); add_row
+  // now throws with both widths named.
+  TextTable t({"a", "bb"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  try {
+    t.add_row({"1", "2", "3"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "TextTable::add_row: row width 3 does not match header width 2");
+  }
+  // The table stays usable after a rejected row.
+  t.add_row({"x", "yy"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("x  yy"), std::string::npos);
 }
 
 }  // namespace

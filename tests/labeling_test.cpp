@@ -1,6 +1,8 @@
 // Tests for Condition-A labelings (Section 3, Example 1, Lemma 2).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "shc/graph/algorithms.hpp"
 #include "shc/graph/generators.hpp"
 #include "shc/labeling/labeling.hpp"
@@ -119,6 +121,23 @@ TEST(Labeling, ConditionAViolationDetected) {
 TEST(Labeling, UnusedLabelViolatesConditionA) {
   const CubeLabeling bad(2, 3, {0, 1, 1, 0});  // label 2 never used
   EXPECT_FALSE(bad.satisfies_condition_a());
+}
+
+TEST(LabelingGuards, InvalidInputsThrowInReleaseBuildsToo) {
+  // These were bare asserts (gone under NDEBUG, the PR 2 bug class);
+  // constructors and factories now throw.
+  EXPECT_THROW((void)CubeLabeling(0, 1, {}), std::invalid_argument);
+  EXPECT_THROW((void)CubeLabeling(25, 1, {}), std::invalid_argument);
+  EXPECT_THROW((void)CubeLabeling(2, 0, {0, 0, 0, 0}), std::invalid_argument);
+  // Label vector of the wrong size, and a label value out of range.
+  EXPECT_THROW((void)CubeLabeling(2, 2, {0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)CubeLabeling(2, 2, {0, 1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)trivial_labeling(2).label_class(1),
+               std::invalid_argument);
+  EXPECT_THROW((void)hamming_labeling(0), std::invalid_argument);
+  EXPECT_THROW((void)hamming_labeling(5), std::invalid_argument);
+  EXPECT_THROW((void)lemma2_labeling(0), std::invalid_argument);
+  EXPECT_THROW((void)lemma2_labeling(25), std::invalid_argument);
 }
 
 }  // namespace

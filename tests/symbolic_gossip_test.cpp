@@ -389,6 +389,21 @@ TEST(SymbolicGossipBoundary, ExchangeGossipCertifiesAtN59WithExactCount) {
   EXPECT_FALSE(cert.checks.classes.known_pairs_exact);
 }
 
+TEST(SymbolicGossipBoundary, ExchangeCountOverflowRefusedExactlyAtN60) {
+  // n = 60 is the first dimension where the total n * 2^(n-1) breaks
+  // 64 bits, and it breaks mid-run: each round adds 2^59 exchanges, so
+  // the accumulator is exact through round 31 (31 * 2^59 < 2^64) and
+  // round 32's accumulation would hit 2^64 on the nose.  The checked
+  // counter must refuse at that exact round and leave the running total
+  // untouched (refusal, not saturation: total_exchanges is
+  // verdict-bearing).
+  const auto cert = certify_exchange_gossip_symbolic(60);
+  EXPECT_FALSE(cert.report.ok);
+  EXPECT_EQ(cert.report.error,
+            "round 32: total exchange count overflowed 64 bits");
+  EXPECT_EQ(cert.report.total_exchanges, 31u * (std::uint64_t{1} << 59));
+}
+
 TEST(SymbolicGossipBoundary, ExchangeCountOverflowRefusedAtN63) {
   // 63 * 2^62 exceeds 2^64: the checked counter must refuse explicitly
   // (wrapping would certify garbage totals).

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Self-test for tools/shc_lint.py — each rule must fire on a minimal
+violation and stay silent on the compliant / suppressed variant, so a
+lint regression cannot silently stop guarding the tree."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import shc_lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    def run_lint(self, files: dict[str, str]) -> tuple[int, str]:
+        """Writes `files` (relative paths) into a scratch tree, lints it."""
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            for rel, text in files.items():
+                path = root / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text, encoding="utf-8")
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                status = shc_lint.main(["--root", str(root)])
+            return status, buf.getvalue()
+
+    def assert_finding(self, files: dict[str, str], rule: str) -> None:
+        status, out = self.run_lint(files)
+        self.assertEqual(status, 1, f"expected a finding, got:\n{out}")
+        self.assertIn(f"[{rule}]", out)
+
+    def assert_clean(self, files: dict[str, str]) -> None:
+        status, out = self.run_lint(files)
+        self.assertEqual(status, 0, f"expected clean, got:\n{out}")
+
+
+class CheckedCounterRule(LintHarness):
+    def test_raw_increment_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.hpp": "void f() { stats_.total_calls += n; }\n"},
+            "checked-counter",
+        )
+
+    def test_plus_plus_flagged(self) -> None:
+        self.assert_finding(
+            {"src/gossip/a.hpp": "void f() { total_exchanges++; }\n"},
+            "checked-counter",
+        )
+
+    def test_assignment_with_arithmetic_flagged(self) -> None:
+        self.assert_finding(
+            {"src/mlbg/a.cpp": "void f() { rep.known_pairs = a + b; }\n"},
+            "checked-counter",
+        )
+
+    def test_checked_helper_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp":
+                    "void f() { checked_acc_u64(stats_.total_calls, n); }\n"
+                    "void g() { saturating_acc_u64(rep.known_pairs, m); }\n"
+            }
+        )
+
+    def test_reset_and_reads_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp":
+                    "void f() { stats_.total_calls = 0; }\n"
+                    "auto g() { return stats_.total_calls; }\n"
+            }
+        )
+
+    def test_outside_counter_dirs_clean(self) -> None:
+        self.assert_clean(
+            {"src/graph/a.cpp": "void f() { total_calls += n; }\n"}
+        )
+
+    def test_comment_mention_clean(self) -> None:
+        self.assert_clean(
+            {"src/sim/a.hpp": "// total_calls += n would overflow\n"}
+        )
+
+    def test_suppression_honored(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp":
+                    "// shc-lint: allow(checked-counter) — test fixture\n"
+                    "void f() { stats_.total_calls += n; }\n"
+            }
+        )
+
+
+class RawThreadRule(LintHarness):
+    def test_thread_outside_pool_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.hpp": "std::thread t([]{});\n"}, "raw-thread"
+        )
+
+    def test_worker_pool_itself_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/include/shc/sim/worker_pool.hpp":
+                    "std::thread t([]{});\n"
+            }
+        )
+
+    def test_hardware_concurrency_clean(self) -> None:
+        self.assert_clean(
+            {"src/sim/a.hpp": "auto n = std::thread::hardware_concurrency();\n"}
+        )
+
+
+class AssertGuardRule(LintHarness):
+    def test_bare_assert_flagged(self) -> None:
+        self.assert_finding(
+            {"src/graph/src/a.cpp": "void f(int n) { assert(n >= 1); }\n"},
+            "assert-guard",
+        )
+
+    def test_header_not_in_scope(self) -> None:
+        self.assert_clean(
+            {"src/graph/include/shc/graph/a.hpp": "#define X assert(1)\n"}
+        )
+
+    def test_multiline_allow_comment_covers_assert(self) -> None:
+        self.assert_clean(
+            {
+                "src/coding/src/a.cpp":
+                    "// shc-lint: allow(assert-guard) — internal invariant,\n"
+                    "// explained over two comment lines.\n"
+                    "void f(int n) { assert(n >= 1); }\n"
+            }
+        )
+
+    def test_static_assert_clean(self) -> None:
+        self.assert_clean(
+            {"src/graph/src/a.cpp": "static_assert(sizeof(int) == 4);\n"}
+        )
+
+
+class NondeterminismRule(LintHarness):
+    def test_rand_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.cpp": "int f() { return rand(); }\n"}, "nondeterminism"
+        )
+
+    def test_time_flagged(self) -> None:
+        self.assert_finding(
+            {"src/bits/a.cpp": "auto t = time(nullptr);\n"}, "nondeterminism"
+        )
+
+    def test_random_device_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.cpp": "std::random_device rd;\n"}, "nondeterminism"
+        )
+
+    def test_seeded_engine_clean(self) -> None:
+        self.assert_clean(
+            {"src/graph/a.cpp": "std::mt19937_64 rng(seed);\n"}
+        )
+
+
+class LayeringRule(LintHarness):
+    def test_sim_including_mlbg_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.hpp": '#include "shc/mlbg/spec.hpp"\n'}, "layering"
+        )
+
+    def test_sim_including_gossip_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.hpp": '#include "shc/gossip/gossip.hpp"\n'}, "layering"
+        )
+
+    def test_graph_including_coding_flagged(self) -> None:
+        self.assert_finding(
+            {"src/graph/a.cpp": '#include "shc/coding/gf2.hpp"\n'}, "layering"
+        )
+
+    def test_allowed_edges_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/gossip/a.hpp": '#include "shc/mlbg/spec.hpp"\n',
+                "src/mlbg/b.hpp": '#include "shc/sim/subcube.hpp"\n',
+                "src/sim/c.hpp": '#include "shc/graph/graph.hpp"\n',
+            }
+        )
+
+    def test_umbrella_dir_exempt(self) -> None:
+        self.assert_clean(
+            {"src/include/shc/shc.hpp": '#include "shc/gossip/gossip.hpp"\n'}
+        )
+
+
+class RealTree(LintHarness):
+    def test_repo_is_clean(self) -> None:
+        """The actual tree must lint clean — this is the ctest gate."""
+        root = pathlib.Path(__file__).resolve().parent.parent
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            status = shc_lint.main(["--root", str(root)])
+        self.assertEqual(status, 0, f"repo lint failures:\n{buf.getvalue()}")
+
+
+if __name__ == "__main__":
+    unittest.main()
