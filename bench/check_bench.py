@@ -17,10 +17,22 @@ silently degrade:
     noise floor (0.5 s) are exempt from the timing check (their
     counters are still gated); improvements always pass.
 
+Beyond the per-row checks, two machine-independent gates:
+
+  * the BM_SymbolicCertifyThreads/{1,2,4,8} rows must report identical
+    group/frontier/claim counters — the engine's reports are bit-for-bit
+    thread-invariant, so any divergence is a determinism bug, not noise.
+    Their wall times are never gated (they measure the host's cores);
+  * the designed-63 / SymbolicCertify-48 *time ratio* must not regress
+    beyond its committed ratio.  Both rows slow down together on a slower
+    runner, so the ratio stays binding even when SHC_BENCH_TOLERANCE is
+    widened for absolute times (CI runs with 1.5).
+
 Overrides for noisy runners (documented in README.md):
 
-  SHC_BENCH_TOLERANCE=0.60   widen the allowed real-time regression
-  SHC_BENCH_SKIP=1           skip the gate entirely (counters included)
+  SHC_BENCH_TOLERANCE=0.60        widen the allowed real-time regression
+  SHC_BENCH_RATIO_TOLERANCE=0.75  widen the ratio gate (default 0.5)
+  SHC_BENCH_SKIP=1                skip the gate entirely (counters included)
 
 Both are also available as --tolerance / --skip.  Only the Python
 standard library is used.
@@ -52,7 +64,33 @@ GATED_SCHEDULE = {
     "BM_SymbolicGossip/26": ["exchanges", "groups"],
     "BM_SymbolicGossip/33": ["exchanges", "groups"],
     "BM_SymbolicGossip/40": ["exchanges", "groups"],
+    "BM_SymbolicCertifyThreads/1": ["groups", "peak_frontier_subcubes",
+                                    "occupancy_claims", "minimum_time"],
+    "BM_SymbolicCertifyThreads/2": ["groups", "peak_frontier_subcubes",
+                                    "occupancy_claims", "minimum_time"],
+    "BM_SymbolicCertifyThreads/4": ["groups", "peak_frontier_subcubes",
+                                    "occupancy_claims", "minimum_time"],
+    "BM_SymbolicCertifyThreads/8": ["groups", "peak_frontier_subcubes",
+                                    "occupancy_claims", "minimum_time"],
 }
+
+# Rows whose wall time is a function of the host's core count: counters
+# stay gated, the absolute time never is.
+TIME_UNGATED = {f"BM_SymbolicCertifyThreads/{t}" for t in (1, 2, 4, 8)}
+
+# Thread-count invariance: these fresh rows must agree on these counters
+# with each other (not merely with the baseline) — the symbolic reports
+# are bit-for-bit identical at every thread count by contract.
+THREAD_INVARIANT_ROWS = [f"BM_SymbolicCertifyThreads/{t}" for t in (1, 2, 4, 8)]
+THREAD_INVARIANT_COUNTERS = ["groups", "peak_frontier_subcubes",
+                             "occupancy_claims"]
+
+# Machine-independent time gates: (numerator row, denominator row).  The
+# committed ratio is a property of the engine, not the runner, so this
+# stays binding under a widened absolute tolerance.
+RATIO_GATES = [
+    ("BM_SymbolicCertifyDesigned/63", "BM_SymbolicCertify/48"),
+]
 
 # Gated shc_sweep rows: identity -> exact counters.  Grid rows are keyed
 # (engine, n, k, model); every committed row of these engines is gated.
@@ -131,6 +169,9 @@ def main(argv=None):
     ap.add_argument("--baseline-sweep", default="BENCH_sweep.jsonl")
     ap.add_argument("--tolerance", type=float,
                     default=float(os.environ.get("SHC_BENCH_TOLERANCE", "0.25")))
+    ap.add_argument("--ratio-tolerance", type=float,
+                    default=float(os.environ.get("SHC_BENCH_RATIO_TOLERANCE",
+                                                 "0.5")))
     ap.add_argument("--skip", action="store_true",
                     default=os.environ.get("SHC_BENCH_SKIP", "") == "1")
     args = ap.parse_args(argv)
@@ -160,8 +201,43 @@ def main(argv=None):
             continue
         check_counters(f"schedule row '{name}'", counters, fresh, base,
                        failures)
-        check_time(f"schedule row '{name}'", fresh.get("real_time"),
-                   base.get("real_time"), args.tolerance, failures)
+        if name not in TIME_UNGATED:
+            check_time(f"schedule row '{name}'", fresh.get("real_time"),
+                       base.get("real_time"), args.tolerance, failures)
+
+    # Thread-count invariance across the fresh scaling rows.
+    present = [(n, fresh_sched[n]) for n in THREAD_INVARIANT_ROWS
+               if n in fresh_sched]
+    if len(present) >= 2:
+        ref_name, ref = present[0]
+        for name, row in present[1:]:
+            for key in THREAD_INVARIANT_COUNTERS:
+                if key in ref and key in row and row[key] != ref[key]:
+                    failures.append(
+                        f"thread invariance: '{name}' counter '{key}' "
+                        f"({row[key]!r}) differs from '{ref_name}' "
+                        f"({ref[key]!r}) — symbolic reports must be "
+                        "bit-for-bit identical at every thread count")
+
+    # Machine-independent ratio gates.
+    for num_name, den_name in RATIO_GATES:
+        rows = [base_sched.get(num_name), base_sched.get(den_name),
+                fresh_sched.get(num_name), fresh_sched.get(den_name)]
+        if any(r is None for r in rows):
+            continue  # absolute gates already flag missing rows
+        times = [r.get("real_time") for r in rows]
+        if any(t is None for t in times):
+            continue
+        bn, bd, fn, fd = times
+        if bd < NOISE_FLOOR_SECONDS or fd < NOISE_FLOOR_SECONDS:
+            continue
+        base_ratio, fresh_ratio = bn / bd, fn / fd
+        if fresh_ratio > base_ratio * (1.0 + args.ratio_tolerance):
+            failures.append(
+                f"ratio gate '{num_name}' / '{den_name}': {fresh_ratio:.2f} "
+                f"vs committed {base_ratio:.2f} (> {args.ratio_tolerance:.0%} "
+                "tolerance) — this gate is machine-independent; the "
+                "numerator's engine got relatively slower")
 
     try:
         fresh_sweep = load_sweep(args.fresh_sweep)

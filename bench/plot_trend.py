@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Perf-trajectory trend report — render the committed bench history as
+ASCII charts, standard library only.
+
+The repo's perf story is a sequence of committed BENCH_schedule.json
+snapshots (one per PR that touched the engines).  check_bench.py gates
+one step of that sequence; this tool shows the whole walk:
+
+  # every committed revision of the artifact, oldest -> newest
+  python3 bench/plot_trend.py --git BENCH_schedule.json
+
+  # explicit snapshots (oldest -> newest), e.g. A/B experiment outputs
+  python3 bench/plot_trend.py old.json mid.json new.json
+
+For each benchmark row present in at least two snapshots it prints a
+sparkline of real_time across the snapshots, the first/last values, and
+the net speedup factor — so "did the designed-63 row actually get faster
+over the last five PRs, and when" is one command, no plotting stack.
+
+Exit status: 0 on success, 2 on unusable input (no snapshots, no
+overlapping rows).  Pure stdlib; `--git` shells out to the local git
+binary only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Eight-level bar glyphs; index by value scaled into [0, 7].
+SPARKS = " ▁▂▃▄▅▆▇█"
+
+
+# google-benchmark reports real_time in the row's time_unit (ns default).
+TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def parse_schedule(text: str) -> dict[str, float]:
+    """Benchmark name -> real_time in seconds (normalized across each
+    row's time_unit; rows without a time are skipped)."""
+    data = json.loads(text)
+    rows = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "").split("/iterations:")[0]
+        t = bench.get("real_time")
+        scale = TIME_UNITS.get(bench.get("time_unit", "ns"))
+        if name and scale is not None and isinstance(t, (int, float)):
+            rows[name] = float(t) * scale
+    return rows
+
+
+def git_snapshots(path: str) -> list[tuple[str, str]]:
+    """(label, file text) for every committed revision of `path`,
+    oldest first."""
+    revs = subprocess.run(
+        ["git", "log", "--format=%h", "--reverse", "--", path],
+        check=True, capture_output=True, text=True,
+    ).stdout.split()
+    out = []
+    for rev in revs:
+        show = subprocess.run(
+            ["git", "show", f"{rev}:{path}"], capture_output=True, text=True,
+        )
+        if show.returncode == 0:  # skip revisions where the file was absent
+            out.append((rev, show.stdout))
+    return out
+
+
+def sparkline(values: list[float]) -> str:
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARKS[4] * len(values)
+    span = hi - lo
+    return "".join(
+        SPARKS[1 + round((v - lo) / span * 7)] for v in values
+    )
+
+
+def fmt_secs(seconds: float) -> str:
+    if seconds >= 100.0:
+        return f"{seconds:.0f}s"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render(snapshots: list[tuple[str, dict[str, float]]],
+           out=None) -> int:
+    """Render the trend table; returns the number of rows plotted."""
+    # Resolve stdout at call time so redirect_stdout (tests) works.
+    out = sys.stdout if out is None else out
+    labels = [label for label, _ in snapshots]
+    # Rows in first-seen order, only those with >= 2 data points.
+    order: list[str] = []
+    for _, rows in snapshots:
+        for name in rows:
+            if name not in order:
+                order.append(name)
+    plotted = 0
+    name_w = max((len(n) for n in order), default=4)
+    print(f"trend over {len(snapshots)} snapshot(s): "
+          f"{labels[0]} .. {labels[-1]}", file=out)
+    for name in order:
+        series = [(label, rows[name]) for label, rows in snapshots
+                  if name in rows]
+        if len(series) < 2:
+            continue
+        values = [v for _, v in series]
+        first, last = values[0], values[-1]
+        if last > 0:
+            factor = first / last
+            net = f"{factor:5.2f}x {'faster' if factor >= 1.0 else 'SLOWER'}"
+        else:
+            net = "  n/a"
+        print(f"  {name:<{name_w}}  {sparkline(values)}  "
+              f"{fmt_secs(first):>8} -> {fmt_secs(last):>8}  {net}",
+              file=out)
+        plotted += 1
+    if plotted == 0:
+        print("  (no benchmark row appears in two or more snapshots)",
+              file=out)
+    return plotted
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="ASCII trend report over BENCH_schedule.json snapshots")
+    ap.add_argument("snapshots", nargs="*",
+                    help="artifact files, oldest first")
+    ap.add_argument("--git", metavar="PATH",
+                    help="plot every committed revision of PATH instead")
+    args = ap.parse_args(argv)
+
+    loaded: list[tuple[str, dict[str, float]]] = []
+    try:
+        if args.git:
+            for label, text in git_snapshots(args.git):
+                loaded.append((label, parse_schedule(text)))
+        for path in args.snapshots:
+            with open(path) as f:
+                loaded.append((path, parse_schedule(f.read())))
+    except (OSError, json.JSONDecodeError,
+            subprocess.CalledProcessError) as e:
+        print(f"plot_trend: cannot load snapshots: {e}", file=sys.stderr)
+        return 2
+
+    if len(loaded) < 2:
+        print("plot_trend: need at least two snapshots to plot a trend",
+              file=sys.stderr)
+        return 2
+    return 0 if render(loaded) > 0 else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,6 +138,10 @@ class SymbolicGossipValidator {
       return;
     }
     if (sopt.threads > 1) pool_ = std::make_unique<WorkerPool>(sopt.threads);
+    // The knowledge partition farms its heavy reductions (union
+    // canonicalization, class re-coalesce merge trees) over the same
+    // pool; reports are bit-for-bit identical at every thread count.
+    state_.set_pool(pool_.get());
   }
 
   // ---- SymbolicRoundSink interface ------------------------------------
@@ -157,7 +161,8 @@ class SymbolicGossipValidator {
 
   void end_call_group(const CallGroup& g, std::span<const Vertex> pattern) {
     if (failed_) return;
-    const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
+    // `where` is built lazily (round_where()): this method is the
+    // per-group hot path and the prefix is only read on failure.
 
     Vertex span_mask = 0;
     int length = 0;
@@ -165,19 +170,19 @@ class SymbolicGossipValidator {
             *net_, n_, k_, /*vertex_disjoint=*/false, g, pattern, span_mask,
             length);
         !msg.empty()) {
-      return fail(where + msg);
+      return fail(round_where() + msg);
     }
     const Vertex delta = pattern.back();
     if (delta == 0) {
       // A pattern cycling back to its start would pair every caller
       // with itself — the exact validator rejects it as an endpoint
       // seen twice.
-      return fail(where + "exchange pattern returns to its caller "
-                          "(a vertex cannot exchange with itself)");
+      return fail(round_where() + "exchange pattern returns to its caller "
+                                  "(a vertex cannot exchange with itself)");
     }
     rep_.max_call_length = std::max(rep_.max_call_length, length);
     if (!checked_acc_u64(rep_.total_exchanges, g.count)) {
-      return fail(where + "total exchange count overflowed 64 bits");
+      return fail(round_where() + "total exchange count overflowed 64 bits");
     }
     ++stats_.groups;
     if (length >= 2) round_multihop_ = true;
@@ -186,7 +191,7 @@ class SymbolicGossipValidator {
     // layout); refuse rather than wrap on adversarial input.
     if (round_.pattern_pool.size() + pattern.size() >
         std::numeric_limits<std::uint32_t>::max()) {
-      return fail(where + "round pattern pool exceeds 32-bit offsets");
+      return fail(round_where() + "round pattern pool exceeds 32-bit offsets");
     }
     round_.groups.push_back(g);
     round_.group_pattern.push_back(
@@ -206,7 +211,7 @@ class SymbolicGossipValidator {
 
   void end_round() {
     if (failed_) return;
-    const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
+    const std::string where = round_where();
     // The exact validator accepts empty rounds (they just burn time);
     // mirror it so clean-run parity holds on degenerate inputs too.
     if (round_.groups.empty()) return;
@@ -256,6 +261,12 @@ class SymbolicGossipValidator {
     failed_ = true;
     rep_.ok = false;
     rep_.error = msg;
+  }
+
+  /// Error-message prefix of the round in progress — failure paths and
+  /// end_round only, never the per-group hot loop.
+  [[nodiscard]] std::string round_where() const {
+    return "round " + std::to_string(rep_.rounds) + ": ";
   }
 
   [[nodiscard]] std::span<const Vertex> pattern_of(std::size_t gi) const noexcept {

@@ -46,6 +46,8 @@
 
 namespace shc {
 
+class WorkerPool;
+
 /// One immutable knowledge set of relative offsets, shared (via
 /// shared_ptr) by every class whose vertices know exactly these offsets
 /// of themselves.  Invariants: entries are pairwise disjoint, carry
@@ -136,6 +138,15 @@ class KnowledgeClassPartition {
   /// tests and diagnostics, not the hot path).
   [[nodiscard]] const GossipKnowledge& knowledge_of(Vertex v) const;
 
+  /// Optional worker pool for the heavy reductions (knowledge unions
+  /// and the class re-coalesce pass farm the reduce recursion's top
+  /// split over it).  Results are bit-for-bit identical with or without
+  /// a pool and at every thread count — the recursion tree is a
+  /// deterministic function of the data (see canonical_reduce_tree).
+  /// The pool must outlive the partition; nullptr (the default) runs
+  /// everything inline.
+  void set_pool(WorkerPool* pool) noexcept { pool_ = pool; }
+
  private:
   struct ClassEntry {
     Subcube cube;
@@ -153,6 +164,7 @@ class KnowledgeClassPartition {
   KnowledgeClassOptions opt_;
   std::vector<ClassEntry> classes_;
   KnowledgeClassStats stats_;
+  WorkerPool* pool_ = nullptr;
 };
 
 }  // namespace shc

@@ -37,6 +37,11 @@
 // formed serially in claim order, walked independently (sharded over the
 // persistent WorkerPool when one is supplied), and the outcome with the
 // smallest bucket index wins, exactly as the serial loop picks it.
+//
+// Claims are stored structure-of-arrays per family (contiguous prefix /
+// mask / group arrays) and the walk's divide step runs as batch kernels
+// over them with recycled per-thread index scratch — see
+// subcube_batch.hpp for the layout rationale.
 #pragma once
 
 #include <algorithm>
@@ -51,6 +56,7 @@
 #include "shc/bits/audit.hpp"
 #include "shc/bits/vertex.hpp"
 #include "shc/sim/subcube.hpp"
+#include "shc/sim/subcube_batch.hpp"
 #include "shc/sim/worker_pool.hpp"
 
 namespace shc {
@@ -102,7 +108,10 @@ class OccupancyLedger {
     if (families_.size() <= static_cast<std::size_t>(family)) {
       families_.resize(static_cast<std::size_t>(family) + 1);
     }
-    families_[static_cast<std::size_t>(family)].push_back({prefix, mask, group});
+    FamilyClaims& f = families_[static_cast<std::size_t>(family)];
+    f.prefix.push_back(prefix);
+    f.mask.push_back(mask);
+    f.group.push_back(group);
     ++claims_;
   }
 
@@ -111,7 +120,11 @@ class OccupancyLedger {
   /// Drops all claims but keeps the family/bucket capacity for the next
   /// round (the validators recycle one ledger across rounds).
   void clear() {
-    for (auto& f : families_) f.clear();
+    for (auto& f : families_) {
+      f.prefix.clear();
+      f.mask.clear();
+      f.group.clear();
+    }
     claims_ = 0;
   }
 
@@ -130,26 +143,24 @@ class OccupancyLedger {
     std::vector<Bucket> buckets;
     detail::PrefixTable keys;
     for (std::size_t fam = 0; fam < families_.size(); ++fam) {
-      const std::vector<Claim>& claims = families_[fam];
+      const FamilyClaims& claims = families_[fam];
       if (claims.size() < 2) continue;
       // Bits every claim pins with differing values: bucketing on them
       // is exact (overlapping claims agree on all commonly pinned bits).
-      Vertex free_any = 0, prefix_or = 0, prefix_and = ~Vertex{0};
-      for (const Claim& c : claims) {
-        free_any |= c.mask;
-        prefix_or |= c.prefix;
-        prefix_and &= c.prefix;
-      }
-      Vertex varying = mask_low(n_) & ~free_any & (prefix_or ^ prefix_and);
+      const batch::MaskScan scan =
+          batch::scan_all(claims.prefix.data(), claims.mask.data(),
+                          claims.size());
+      Vertex varying =
+          mask_low(n_) & ~scan.mask_or & (scan.pref_or ^ scan.pref_and);
       Vertex bucket_bits = 0;
       for (int b = 0; b < kMaxBucketBits && varying != 0; ++b) {
         const Vertex bit = varying & (~varying + 1);
         bucket_bits |= bit;
         varying &= ~bit;
       }
-      keys = {};
+      keys.reset();  // recycled across families (capacity kept)
       for (std::size_t i = 0; i < claims.size(); ++i) {
-        const Vertex key = claims[i].prefix & bucket_bits;
+        const Vertex key = claims.prefix[i] & bucket_bits;
         std::size_t at;
         if (const std::uint64_t* v = keys.find(key)) {
           at = static_cast<std::size_t>(*v);
@@ -180,13 +191,18 @@ class OccupancyLedger {
     std::size_t best_index = buckets.size();
     OccupancyOutcome best;
     auto walk_bucket = [&](std::size_t bi) {
+      // Per-thread recycled index scratch: a walk is at most 64 deep
+      // but the designed specs resolve millions of buckets per round,
+      // so per-node (or even per-bucket) vectors were pure churn.
+      static thread_local batch::IdVecPool scratch;
       Bucket& bucket = buckets[bi];
-      const std::vector<Claim>& claims =
+      const FamilyClaims& claims =
           families_[static_cast<std::size_t>(bucket.family)];
       const std::uint64_t budget =
           bucket_budget_base +
           budget_per_claim * static_cast<std::uint64_t>(bucket.ids.size());
-      DyadicWalk walk{claims, budget, 0, false, false, 0, 0};
+      DyadicWalk walk{claims.prefix.data(), claims.mask.data(), scratch,
+                      budget, 0, false, false, 0, 0};
       walk.run(bucket.ids, mask_low(n_));
       total_nodes.fetch_add(walk.nodes, std::memory_order_relaxed);
       if (!walk.found && !walk.budget_hit) return false;
@@ -198,26 +214,26 @@ class OccupancyLedger {
       } else {
         out.status = OccupancyStatus::kDoubleClaim;
         out.family = bucket.family;
-        out.group_a = claims[walk.hit_a].group;
-        out.group_b = claims[walk.hit_b].group;
-        const auto piece =
-            subcube_intersection({claims[walk.hit_a].prefix, claims[walk.hit_a].mask},
-                                 {claims[walk.hit_b].prefix, claims[walk.hit_b].mask});
+        out.group_a = claims.group[walk.hit_a];
+        out.group_b = claims.group[walk.hit_b];
+        const auto piece = subcube_intersection(
+            {claims.prefix[walk.hit_a], claims.mask[walk.hit_a]},
+            {claims.prefix[walk.hit_b], claims.mask[walk.hit_b]});
         assert(piece.has_value());
         SHC_AUDIT_CHECK(
             piece.has_value() &&
                 subcubes_overlap(
-                    {claims[walk.hit_a].prefix, claims[walk.hit_a].mask},
-                    {claims[walk.hit_b].prefix, claims[walk.hit_b].mask}),
+                    {claims.prefix[walk.hit_a], claims.mask[walk.hit_a]},
+                    {claims.prefix[walk.hit_b], claims.mask[walk.hit_b]}),
             "OccupancyLedger double-claim witnesses must name two "
             "genuinely overlapping claims");
         if (piece) {
           SHC_AUDIT_CHECK(
-              subcube_contains({claims[walk.hit_a].prefix,
-                                claims[walk.hit_a].mask},
+              subcube_contains({claims.prefix[walk.hit_a],
+                                claims.mask[walk.hit_a]},
                                *piece) &&
-                  subcube_contains({claims[walk.hit_b].prefix,
-                                    claims[walk.hit_b].mask},
+                  subcube_contains({claims.prefix[walk.hit_b],
+                                    claims.mask[walk.hit_b]},
                                    *piece),
               "OccupancyLedger witness piece must be contained in both "
               "claims");
@@ -251,20 +267,27 @@ class OccupancyLedger {
  private:
   static constexpr int kMaxBucketBits = 16;
 
-  struct Claim {
-    Vertex prefix = 0;
-    Vertex mask = 0;
-    std::uint32_t group = 0;
+  /// One family's claims, structure-of-arrays: parallel prefix / mask /
+  /// group arrays (the batch kernels' native layout).
+  struct FamilyClaims {
+    std::vector<Vertex> prefix;
+    std::vector<Vertex> mask;
+    std::vector<std::uint32_t> group;
+
+    [[nodiscard]] std::size_t size() const noexcept { return prefix.size(); }
   };
 
   /// Divide-on-pinned-dimension descent over one bucket.  A node where
   /// no claim pins a remaining dimension holds claims that all cover the
   /// node's whole subspace: two of them is a double-claim.  Claims free
   /// on the branch dimension are split into both halves (the dyadic
-  /// split); partition order is stable, so hit_a/hit_b are the claims
-  /// with the smallest insertion indices — deterministic everywhere.
+  /// split); partition order is stable (batch::partition_ids), so
+  /// hit_a/hit_b are the claims with the smallest insertion indices —
+  /// deterministic everywhere.
   struct DyadicWalk {
-    const std::vector<Claim>& claims;
+    const Vertex* cprefix;
+    const Vertex* cmask;
+    batch::IdVecPool& scratch;
     std::uint64_t budget;
     std::uint64_t nodes;
     bool found;
@@ -280,19 +303,14 @@ class OccupancyLedger {
       budget -= ids.size();
       nodes += ids.size();
 
-      Vertex free_or = 0, pinned_any = 0, pref_or = 0, pref_and = ~Vertex{0};
-      for (const std::uint32_t i : ids) {
-        const Claim& c = claims[i];
-        free_or |= c.mask;
-        pinned_any |= remaining & ~c.mask;
-        pref_or |= c.prefix;
-        pref_and &= c.prefix;
-      }
+      const batch::MaskScan scan =
+          batch::scan_ids(ids.data(), ids.size(), cprefix, cmask);
+      Vertex pinned_any = remaining & ~scan.mask_and;
       // Dims every claim pins to the same value carry no overlap
       // information — drop them from `remaining` without spending a
       // branch.
-      const Vertex pinned_all = remaining & ~free_or;
-      const Vertex diff = (pref_or ^ pref_and) & remaining;
+      const Vertex pinned_all = remaining & ~scan.mask_or;
+      const Vertex diff = (scan.pref_or ^ scan.pref_and) & remaining;
       remaining &= ~(pinned_all & ~diff);
       pinned_any &= remaining;
       if (pinned_any == 0) {
@@ -311,27 +329,19 @@ class OccupancyLedger {
       if (cand == 0) cand = pinned_any;
       const int d = 63 - __builtin_clzll(cand);
       const Vertex b = Vertex{1} << d;
-      std::vector<std::uint32_t> lo, hi;
-      for (const std::uint32_t i : ids) {
-        const Claim& c = claims[i];
-        if (c.mask & b) {
-          lo.push_back(i);
-          hi.push_back(i);
-        } else if (c.prefix & b) {
-          hi.push_back(i);
-        } else {
-          lo.push_back(i);
-        }
-      }
+      std::vector<std::uint32_t> lo = scratch.acquire();
+      std::vector<std::uint32_t> hi = scratch.acquire();
+      batch::partition_ids(ids.data(), ids.size(), cprefix, cmask, b, lo, hi);
       ids.clear();
-      ids.shrink_to_fit();
       run(lo, remaining & ~b);
       run(hi, remaining & ~b);
+      scratch.release(std::move(lo));
+      scratch.release(std::move(hi));
     }
   };
 
   int n_;
-  std::vector<std::vector<Claim>> families_;
+  std::vector<FamilyClaims> families_;
   std::uint64_t claims_ = 0;
 };
 

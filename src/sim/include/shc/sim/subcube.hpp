@@ -30,6 +30,14 @@
 //     family intersect — the symbolic validator's collision-candidate
 //     detector.  Both take an explicit node budget and fail (rather
 //     than stall) on adversarially fragmented inputs.
+//
+// Storage is structure-of-arrays throughout (see subcube_batch.hpp for
+// the kernel layer and the rationale): the frontier's per-class tables
+// keep separate contiguous key/value arrays so the coalesce scan — the
+// hottest loop of a designed-spec certification — runs as one
+// vectorizable min-reduction, and mask classes live in a recycled dense
+// pool instead of an unordered_map (class churn was ~11 % of the
+// designed-63 profile).
 #pragma once
 
 #include <algorithm>
@@ -37,13 +45,13 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "shc/bits/audit.hpp"
 #include "shc/bits/checked.hpp"
 #include "shc/bits/vertex.hpp"
+#include "shc/sim/subcube_batch.hpp"
 
 namespace shc {
 
@@ -127,9 +135,11 @@ inline std::uint64_t mix_u64(std::uint64_t x) noexcept {
   return x;
 }
 
-/// Open-addressing prefix -> value table for one mask class.  Prefixes
-/// are < 2^63 (n <= kMaxCubeDim), so the two top-bit-set sentinels can
-/// never collide with a key.
+/// Open-addressing prefix -> value table for one mask class, stored SoA
+/// (separate contiguous key and value arrays) so the sibling-coalesce
+/// scan vectorizes — see batch::sibling_scan.  Prefixes are < 2^63
+/// (n <= kMaxCubeDim), so the two top-bit-set sentinels can never
+/// collide with a key.
 class PrefixTable {
  public:
   static constexpr Vertex kEmpty = ~Vertex{0};
@@ -140,12 +150,12 @@ class PrefixTable {
 
   /// Pointer to the value for `p`, or nullptr.
   [[nodiscard]] std::uint64_t* find(Vertex p) noexcept {
-    if (slots_.empty()) return nullptr;
+    if (keys_.empty()) return nullptr;
     std::size_t i = mix_u64(p) & mask_;
     for (;;) {
-      auto& s = slots_[i];
-      if (s.first == p) return &s.second;
-      if (s.first == kEmpty) return nullptr;
+      const Vertex k = keys_[i];
+      if (k == p) return &vals_[i];
+      if (k == kEmpty) return nullptr;
       i = (i + 1) & mask_;
     }
   }
@@ -156,8 +166,8 @@ class PrefixTable {
   /// First entry satisfying fn(prefix, value), or false.
   template <class Fn>
   [[nodiscard]] bool any_of(Fn&& fn) const {
-    for (const auto& s : slots_) {
-      if (s.first < kTomb && fn(s.first, s.second)) return true;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] < kTomb && fn(keys_[i], vals_[i])) return true;
     }
     return false;
   }
@@ -169,15 +179,16 @@ class PrefixTable {
     std::size_t i = mix_u64(p) & mask_;
     std::size_t tomb = SIZE_MAX;
     for (;;) {
-      auto& s = slots_[i];
-      if (s.first == p) {
-        s.second += v;
+      const Vertex k = keys_[i];
+      if (k == p) {
+        vals_[i] += v;
         return;
       }
-      if (s.first == kTomb && tomb == SIZE_MAX) tomb = i;
-      if (s.first == kEmpty) {
+      if (k == kTomb && tomb == SIZE_MAX) tomb = i;
+      if (k == kEmpty) {
         const std::size_t at = tomb != SIZE_MAX ? tomb : i;
-        slots_[at] = {p, v};
+        keys_[at] = p;
+        vals_[at] = v;
         ++size_;
         ++used_;
         if (tomb != SIZE_MAX) {
@@ -191,24 +202,23 @@ class PrefixTable {
 
   /// Removes p; returns false when absent.
   bool erase(Vertex p) noexcept {
-    if (slots_.empty()) return false;
+    if (keys_.empty()) return false;
     std::size_t i = detail_probe_start(p);
     for (;;) {
-      auto& s = slots_[i];
-      if (s.first == p) {
-        s.first = kTomb;
+      if (keys_[i] == p) {
+        keys_[i] = kTomb;
         --size_;
         return true;
       }
-      if (s.first == kEmpty) return false;
+      if (keys_[i] == kEmpty) return false;
       i = (i + 1) & mask_;
     }
   }
 
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& s : slots_) {
-      if (s.first < kTomb) fn(s.first, s.second);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] < kTomb) fn(keys_[i], vals_[i]);
     }
   }
 
@@ -216,25 +226,26 @@ class PrefixTable {
   /// with the *lowest* differing bit (the same preference as probing
   /// candidate dimensions in ascending order, so the coalesced
   /// structure is identical either way); kEmpty when none.  For the
-  /// small mask classes the frontier is made of, one scan over the slot
-  /// array beats probing every one of n candidate sibling keys.
+  /// small mask classes the frontier is made of, one vectorized scan
+  /// over the slot arrays (batch::sibling_scan) beats probing every one
+  /// of n candidate sibling keys.
   [[nodiscard]] Vertex find_sibling_scan(Vertex p, std::uint64_t want) const noexcept {
-    Vertex best = kEmpty;
-    Vertex best_bit = 0;
-    for (const auto& s : slots_) {
-      if (s.first < kTomb && s.second == want) {
-        const Vertex d = s.first ^ p;
-        if (d != 0 && (d & (d - 1)) == 0 && (best == kEmpty || d < best_bit)) {
-          best = s.first;
-          best_bit = d;
-        }
-      }
-    }
-    return best;
+    return batch::sibling_scan(keys_.data(), vals_.data(), keys_.size(),
+                               kTomb, p, want);
   }
 
   /// Slot-array length (scan cost of find_sibling_scan).
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+
+  /// Back to empty without releasing the slot arrays — recycling a
+  /// table keeps its capacity and clears its tombstones, which is what
+  /// lets the frontier's class pool reuse tables instead of
+  /// destroy/reconstruct cycles.
+  void reset() noexcept {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+    used_ = 0;
+  }
 
  private:
   [[nodiscard]] std::size_t detail_probe_start(Vertex p) const noexcept {
@@ -242,27 +253,174 @@ class PrefixTable {
   }
 
   void reserve_one() {
-    if (slots_.empty()) {
-      slots_.assign(16, {kEmpty, 0});
+    if (keys_.empty()) {
+      keys_.assign(16, kEmpty);
+      vals_.assign(16, 0);
       mask_ = 15;
       return;
     }
-    if ((used_ + 1) * 10 <= slots_.size() * 7) return;
-    std::vector<std::pair<Vertex, std::uint64_t>> old = std::move(slots_);
-    const std::size_t cap = std::max<std::size_t>(16, old.size() * (size_ * 10 >= old.size() * 3 ? 2 : 1));
-    slots_.assign(cap, {kEmpty, 0});
+    if ((used_ + 1) * 10 <= keys_.size() * 7) return;
+    std::vector<Vertex> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_vals = std::move(vals_);
+    const std::size_t cap = std::max<std::size_t>(
+        16, old_keys.size() * (size_ * 10 >= old_keys.size() * 3 ? 2 : 1));
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, 0);
     mask_ = cap - 1;
     used_ = 0;
     size_ = 0;
-    for (const auto& s : old) {
-      if (s.first < kTomb) add(s.first, s.second);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] < kTomb) add(old_keys[i], old_vals[i]);
     }
   }
 
-  std::vector<std::pair<Vertex, std::uint64_t>> slots_;
+  std::vector<Vertex> keys_;
+  std::vector<std::uint64_t> vals_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;  // live entries
   std::size_t used_ = 0;  // live + tombstones
+};
+
+/// Open-addressing mask -> PrefixTable map backed by a dense recycled
+/// table pool.  The frontier's coalesce cascade erases and recreates
+/// mask classes millions of times per certification; with an
+/// unordered_map each cycle was a node deallocation plus a fresh table
+/// construction (~11 % of the designed-63 profile).  Here an erased
+/// class just reset()s its table and parks the index on a free list, so
+/// steady-state operation performs no allocation at all.  Masks are
+/// < 2^63 like prefixes, so the same sentinels work.
+class MaskClassMap {
+ public:
+  static constexpr Vertex kEmpty = ~Vertex{0};
+  static constexpr Vertex kTomb = ~Vertex{0} - 1;
+
+  [[nodiscard]] std::size_t class_count() const noexcept { return size_; }
+
+  /// Table for mask `m`, creating (or recycling) an empty one if absent.
+  [[nodiscard]] PrefixTable& get_or_create(Vertex m) {
+    assert(m < kTomb);
+    reserve_one();
+    std::size_t i = mix_u64(m) & mask_;
+    std::size_t tomb = SIZE_MAX;
+    for (;;) {
+      const Vertex k = keys_[i];
+      if (k == m) return tables_[vals_[i]];
+      if (k == kTomb && tomb == SIZE_MAX) tomb = i;
+      if (k == kEmpty) {
+        const std::size_t at = tomb != SIZE_MAX ? tomb : i;
+        std::uint32_t idx;
+        if (!free_.empty()) {
+          idx = free_.back();  // recycled: already reset()
+          free_.pop_back();
+        } else {
+          idx = static_cast<std::uint32_t>(tables_.size());
+          tables_.emplace_back();
+          table_mask_.push_back(kEmpty);
+        }
+        keys_[at] = m;
+        vals_[at] = idx;
+        table_mask_[idx] = m;
+        ++size_;
+        ++used_;
+        if (tomb != SIZE_MAX) --used_;
+        return tables_[idx];
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] PrefixTable* find_class(Vertex m) noexcept {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = mix_u64(m) & mask_;
+    for (;;) {
+      const Vertex k = keys_[i];
+      if (k == m) return &tables_[vals_[i]];
+      if (k == kEmpty) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  [[nodiscard]] const PrefixTable* find_class(Vertex m) const noexcept {
+    return const_cast<MaskClassMap*>(this)->find_class(m);
+  }
+
+  /// Drops mask class `m`, recycling its table (capacity kept).
+  void erase(Vertex m) noexcept {
+    if (keys_.empty()) return;
+    std::size_t i = mix_u64(m) & mask_;
+    for (;;) {
+      const Vertex k = keys_[i];
+      if (k == m) {
+        const std::uint32_t idx = vals_[i];
+        keys_[i] = kTomb;
+        tables_[idx].reset();
+        table_mask_[idx] = kEmpty;
+        free_.push_back(idx);
+        --size_;
+        return;
+      }
+      if (k == kEmpty) return;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// fn(mask, const PrefixTable&) per live class, in dense pool order
+  /// (deterministic for a given operation sequence).
+  template <class Fn>
+  void for_each_class(Fn&& fn) const {
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (table_mask_[i] != kEmpty) fn(table_mask_[i], tables_[i]);
+    }
+  }
+
+  /// Back to empty; every table is recycled, all capacity kept.
+  void clear() noexcept {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+    used_ = 0;
+    free_.clear();
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      tables_[i].reset();
+      table_mask_[i] = kEmpty;
+      free_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+ private:
+  void reserve_one() {
+    if (keys_.empty()) {
+      keys_.assign(16, kEmpty);
+      vals_.assign(16, 0);
+      mask_ = 15;
+      return;
+    }
+    if ((used_ + 1) * 10 <= keys_.size() * 7) return;
+    std::vector<Vertex> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_vals = std::move(vals_);
+    const std::size_t cap = std::max<std::size_t>(
+        16, old_keys.size() * (size_ * 10 >= old_keys.size() * 3 ? 2 : 1));
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, 0);
+    mask_ = cap - 1;
+    used_ = 0;
+    // Rehash the key -> index pairs; the dense pool itself never moves.
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] >= kTomb) continue;
+      std::size_t j = mix_u64(old_keys[i]) & mask_;
+      while (keys_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+      ++used_;
+    }
+  }
+
+  std::vector<Vertex> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;  // live classes
+  std::size_t used_ = 0;  // live + tombstones
+  std::vector<PrefixTable> tables_;
+  std::vector<Vertex> table_mask_;  // kEmpty when pool slot is free
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace detail
@@ -293,7 +451,7 @@ class SubcubeFrontier {
                     "subcubes (mask-class disjointness depends on it)");
     bump_count(M, mult);
     for (;;) {
-      detail::PrefixTable& t = classes_[M];
+      detail::PrefixTable& t = classes_.get_or_create(M);
       if (std::uint64_t* v = t.find(p)) {
         // Duplicate coverage: record it as multiplicity — the endgame
         // canonical_reduce turns it into a hard validation failure.
@@ -358,7 +516,7 @@ class SubcubeFrontier {
     SHC_AUDIT_CHECK((p & M) == 0 && ((p | M) & ~mask_low(n_)) == 0,
                     "SubcubeFrontier raw keys must be well-formed in-range "
                     "subcubes");
-    detail::PrefixTable& t = classes_[M];
+    detail::PrefixTable& t = classes_.get_or_create(M);
     if (std::uint64_t* cur = t.find(p)) {
       *cur += v;
     } else {
@@ -370,15 +528,15 @@ class SubcubeFrontier {
   /// Deducts `v` from key (p, M); erases at zero.  Returns false when
   /// the key is absent or holds less than `v`.
   [[nodiscard]] bool take(Vertex p, Vertex M, std::uint64_t v) {
-    auto it = classes_.find(M);
-    if (it == classes_.end()) return false;
-    std::uint64_t* cur = it->second.find(p);
+    detail::PrefixTable* t = classes_.find_class(M);
+    if (!t) return false;
+    std::uint64_t* cur = t->find(p);
     if (!cur || *cur < v) return false;
     *cur -= v;
     if (*cur == 0) {
-      it->second.erase(p);
+      t->erase(p);
       --entries_;
-      if (it->second.empty()) classes_.erase(it);
+      if (t->empty()) classes_.erase(M);
     }
     return true;
   }
@@ -393,9 +551,9 @@ class SubcubeFrontier {
   /// Callers scan for nonzero leftovers afterwards and clear() for the
   /// next round.
   [[nodiscard]] bool consume(Vertex p, Vertex M, std::uint64_t v) {
-    auto it = classes_.find(M);
-    if (it == classes_.end()) return false;
-    std::uint64_t* cur = it->second.find(p);
+    detail::PrefixTable* t = classes_.find_class(M);
+    if (!t) return false;
+    std::uint64_t* cur = t->find(p);
     if (!cur) return false;
     std::atomic_ref<std::uint64_t> slot(*cur);
     std::uint64_t have = slot.load(std::memory_order_relaxed);
@@ -407,8 +565,8 @@ class SubcubeFrontier {
   }
 
   [[nodiscard]] std::uint64_t* find(Vertex p, Vertex M) {
-    auto it = classes_.find(M);
-    return it == classes_.end() ? nullptr : it->second.find(p);
+    detail::PrefixTable* t = classes_.find_class(M);
+    return t ? t->find(p) : nullptr;
   }
 
   [[nodiscard]] bool empty() const noexcept { return entries_ == 0; }
@@ -422,9 +580,9 @@ class SubcubeFrontier {
   /// fn(prefix, mask, mult) over every entry (unspecified order).
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [mask, table] : classes_) {
+    classes_.for_each_class([&](Vertex mask, const detail::PrefixTable& table) {
       table.for_each([&](Vertex p, std::uint64_t mult) { fn(p, mask, mult); });
-    }
+    });
   }
 
   /// fn(mask, const detail::PrefixTable&) per mask class — consumers
@@ -432,7 +590,7 @@ class SubcubeFrontier {
   /// classes directly.
   template <class Fn>
   void for_each_class(Fn&& fn) const {
-    for (const auto& [mask, table] : classes_) fn(mask, table);
+    classes_.for_each_class(std::forward<Fn>(fn));
   }
 
   [[nodiscard]] std::vector<WeightedSubcube> to_entries() const {
@@ -450,10 +608,10 @@ class SubcubeFrontier {
     // classes (checked here, where the O(entries) sweep rides on a walk
     // the caller already pays for at round boundaries).
     std::uint64_t live = 0;
-    for (const auto& [mask, table] : classes_) {
+    classes_.for_each_class([&](Vertex mask, const detail::PrefixTable& table) {
       static_cast<void>(mask);
       live += table.size();
-    }
+    });
     SHC_AUDIT_CHECK(live == entries_,
                     "SubcubeFrontier entry count must match its mask-class "
                     "tables");
@@ -475,7 +633,7 @@ class SubcubeFrontier {
   }
 
   int n_;
-  std::unordered_map<Vertex, detail::PrefixTable> classes_;
+  detail::MaskClassMap classes_;
   std::uint64_t entries_ = 0;
   std::uint64_t total_count_ = 0;
   bool count_overflow_ = false;
@@ -491,6 +649,24 @@ class SubcubeFrontier {
 /// `budget` processed entries (pathologically interleaved inputs).
 [[nodiscard]] std::optional<std::vector<WeightedSubcube>> canonical_reduce(
     std::vector<WeightedSubcube> entries, int n, std::uint64_t budget = 1u << 26);
+
+class WorkerPool;
+
+/// canonical_reduce with its serial tail removed: the reduce recursion
+/// branches on one pinned dimension per level, so its top few levels
+/// partition the input into independent subtrees.  Those levels are
+/// descended serially (same branch choice, same budget accounting as
+/// the serial form), the frontier subtrees are farmed over `pool`, and
+/// the lifts join bottom-up afterwards.  The recursion tree is a
+/// function of the input *multiset* alone, so the output — and the
+/// refusal predicate "total processed entries > budget" — is
+/// bit-for-bit identical to the serial form at every thread count.
+/// Inputs at or below the chunk size, or a null / single-worker pool,
+/// fall through to plain canonical_reduce (same output, same refusals,
+/// zero overhead).
+[[nodiscard]] std::optional<std::vector<WeightedSubcube>> canonical_reduce_tree(
+    std::vector<WeightedSubcube> entries, int n, std::uint64_t budget,
+    WorkerPool* pool);
 
 /// Finds intersecting pairs in a subcube family.  Returns, for each
 /// unordered pair of family members that share at least one vertex, the

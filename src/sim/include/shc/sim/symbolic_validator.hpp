@@ -383,7 +383,9 @@ class SymbolicBroadcastValidator {
 
   void end_call_group(const CallGroup& g, std::span<const Vertex> pattern) {
     if (failed_) return;
-    const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
+    // `where` is built lazily (round_where()): this method runs once per
+    // group — 14M+ times per round on the designed n = 63 spec — and the
+    // prefix is only ever read on the failure paths.
 
     Vertex span_mask = 0;
     int length = 0;
@@ -391,14 +393,14 @@ class SymbolicBroadcastValidator {
             *net_, n_, opt_.k, opt_.require_vertex_disjoint, g, pattern,
             span_mask, length);
         !msg.empty()) {
-      return fail(where + msg);
+      return fail(round_where() + msg);
     }
     // Note: free_mask is already provably disjoint from span_mask here —
     // every pattern bit lives in some hop's diff, and each hop failed
     // fast on free_mask & (support | diff) above.
     rep_.max_call_length = std::max(rep_.max_call_length, length);
     if (!checked_acc_u64(rep_.total_calls, g.count)) {
-      return fail(where + "total call count overflowed 64 bits");
+      return fail(round_where() + "total call count overflowed 64 bits");
     }
     ++stats_.groups;
     if (length >= 2) round_multihop_ = true;
@@ -409,7 +411,7 @@ class SymbolicBroadcastValidator {
     // wrap the offsets.
     if (round_.pattern_pool.size() + pattern.size() >
         std::numeric_limits<std::uint32_t>::max()) {
-      return fail(where + "round pattern pool exceeds 32-bit offsets");
+      return fail(round_where() + "round pattern pool exceeds 32-bit offsets");
     }
     ledger_.add_raw(g.prefix, g.free_mask, g.count);
     round_.groups.push_back(g);
@@ -427,7 +429,7 @@ class SymbolicBroadcastValidator {
 
   void end_round() {
     if (failed_) return;
-    const std::string where = "round " + std::to_string(rep_.rounds) + ": ";
+    const std::string where = round_where();
     if (round_.groups.empty()) return fail(where + "empty round");
 
     stats_.peak_round_groups =
@@ -541,6 +543,14 @@ class SymbolicBroadcastValidator {
     failed_ = true;
     rep_.ok = false;
     rep_.error = msg;
+  }
+
+  /// Error-message prefix of the round in progress.  Only called on
+  /// failure paths and once per end_round — never in the per-group hot
+  /// loop (string construction there was a measurable slice of a
+  /// designed-spec run).
+  [[nodiscard]] std::string round_where() const {
+    return "round " + std::to_string(rep_.rounds) + ": ";
   }
 
   [[nodiscard]] std::span<const Vertex> pattern_of(std::size_t gi) const noexcept {

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "shc/bits/audit.hpp"
+#include "shc/sim/subcube_batch.hpp"
+#include "shc/sim/worker_pool.hpp"
 
 namespace shc {
 namespace {
@@ -65,70 +69,37 @@ std::uint64_t content_sig(const std::vector<WeightedSubcube>& entries,
   return h;
 }
 
-/// region minus a *disjoint* subcube family, in one
-/// divide-on-pinned-dimension sweep (the recursion shape of
-/// canonical_reduce / find_overlapping_pairs): uncovered fragments are
-/// appended to `out` with multiplicity one.  Linear-ish in
-/// |family| x n rather than quadratic in the family size — the
-/// piece-by-piece refinement this replaces blew its budget on rounds
-/// consuming thousands of class fragments.  Returns false on budget
-/// exhaustion.
-bool subtract_recurse(const Subcube& region, std::vector<Subcube> family,
-                      std::uint64_t& budget, std::vector<WeightedSubcube>& out) {
-  if (budget < family.size() + 1) return false;
-  budget -= family.size() + 1;
-  if (family.empty()) {
-    out.push_back({region.prefix, region.mask, 1});
-    return true;
-  }
-  // Disjointness means at most one member can cover the whole region.
-  Vertex pinned_any = 0;
-  for (const Subcube& f : family) {
-    if (subcube_contains(f, region)) return true;  // fully covered
-    pinned_any |= region.mask & ~f.mask;
-  }
-  if (pinned_any == 0) {
-    // Every member spans all remaining free dims yet none contains the
-    // region: they disagree with the region on a pinned dim — no
-    // overlap left (callers prefilter, but recursion can reach this).
-    out.push_back({region.prefix, region.mask, 1});
-    return true;
-  }
-  const int d = 63 - __builtin_clzll(pinned_any);
-  const Vertex b = Vertex{1} << d;
-  const Subcube lo{region.prefix, region.mask & ~b};
-  const Subcube hi{region.prefix | b, region.mask & ~b};
-  std::vector<Subcube> lo_fam, hi_fam;
-  for (const Subcube& f : family) {
-    if (f.mask & b) {
-      lo_fam.push_back(Subcube{f.prefix, f.mask & ~b});
-      hi_fam.push_back(Subcube{f.prefix | b, f.mask & ~b});
-    } else if (f.prefix & b) {
-      hi_fam.push_back(f);
-    } else {
-      lo_fam.push_back(f);
-    }
-  }
-  family.clear();
-  family.shrink_to_fit();
-  return subtract_recurse(lo, std::move(lo_fam), budget, out) &&
-         subtract_recurse(hi, std::move(hi_fam), budget, out);
+/// region minus a *disjoint* subcube family — one
+/// divide-on-pinned-dimension sweep over SoA halves
+/// (batch::SubtractSweep, the batched form of the recursion shape
+/// shared with canonical_reduce / find_overlapping_pairs): uncovered
+/// fragments are appended to `out` with multiplicity one.  Linear-ish
+/// in |family| x n rather than quadratic in the family size, with
+/// recycled scratch instead of two vector allocations per divide step.
+/// Budget semantics are node-exact with the scalar recursion this
+/// replaces.  Returns false on budget exhaustion.
+bool subtract_family(batch::SubtractSweep& sweep, const Subcube& region,
+                     SubcubeSoA family, std::uint64_t& budget,
+                     std::vector<WeightedSubcube>& out) {
+  return sweep.run(region.prefix, region.mask, std::move(family), budget,
+                   [&out](Vertex p, Vertex m) { out.push_back({p, m, 1}); });
 }
 
 /// Pieces of `s` not covered by the disjoint canonical cover `cover`,
 /// appended to `out`.  This is the set-union dedup: overlapping
 /// knowledge must not inflate multiplicities (knowledge is a set, the
 /// frontier a multiset).  Returns false on budget exhaustion.
-bool subtract_covered(const Subcube& s,
+bool subtract_covered(batch::SubtractSweep& sweep, const Subcube& s,
                       const std::vector<WeightedSubcube>& cover,
                       std::uint64_t& budget,
                       std::vector<WeightedSubcube>& out) {
-  std::vector<Subcube> overlapping;
+  SubcubeSoA overlapping = sweep.acquire();
   for (const WeightedSubcube& e : cover) {
-    const Subcube c{e.prefix, e.mask};
-    if (subcubes_overlap(s, c)) overlapping.push_back(c);
+    if (subcubes_overlap(s, Subcube{e.prefix, e.mask})) {
+      overlapping.push_back(e.prefix, e.mask);
+    }
   }
-  return subtract_recurse(s, std::move(overlapping), budget, out);
+  return subtract_family(sweep, s, std::move(overlapping), budget, out);
 }
 
 /// One (query, class, piece) overlap: piece = query ∩ a leaf region
@@ -151,7 +122,15 @@ class PartitionRefiner {
  public:
   PartitionRefiner(const std::vector<Subcube>& queries,
                    const std::vector<Subcube>& classes, std::uint64_t budget)
-      : queries_(queries), classes_(classes), budget_(budget) {}
+      : queries_(queries), classes_(classes), budget_(budget) {
+    // SoA mirrors of both families: the divide steps below run as batch
+    // kernels over contiguous prefix/mask arrays (one conversion pass
+    // against millions of partition visits).
+    qsoa_.reserve(queries.size());
+    for (const Subcube& s : queries) qsoa_.push_back(s.prefix, s.mask);
+    csoa_.reserve(classes.size());
+    for (const Subcube& s : classes) csoa_.push_back(s.prefix, s.mask);
+  }
 
   /// False on budget exhaustion.  Pre: every class overlaps `region`
   /// (the partition tiles the cube) and every query lies inside it.
@@ -160,22 +139,24 @@ class PartitionRefiner {
     std::vector<std::uint32_t> cs(classes_.size());
     for (std::uint32_t i = 0; i < qs.size(); ++i) qs[i] = i;
     for (std::uint32_t i = 0; i < cs.size(); ++i) cs[i] = i;
-    return recurse(region, std::move(qs), std::move(cs), out);
+    return recurse(region, qs, cs, out);
   }
 
  private:
-  // Invariant: every listed query and class overlaps `region`.
-  bool recurse(const Subcube& region, std::vector<std::uint32_t> qs,
-               std::vector<std::uint32_t> cs, std::vector<OverlapHit>& out) {
+  // Invariant: every listed query and class overlaps `region`.  The id
+  // halves come from a recycled pool — the recursion is at most 64 deep
+  // but visits millions of nodes, so per-node vectors were pure churn.
+  bool recurse(const Subcube& region, std::vector<std::uint32_t>& qs,
+               std::vector<std::uint32_t>& cs, std::vector<OverlapHit>& out) {
     if (qs.empty() || cs.empty()) return true;
     const std::uint64_t work = qs.size() + cs.size();
     if (budget_ < work) return false;
     budget_ -= work;
 
-    Vertex pinned_any = 0;
-    for (const std::uint32_t c : cs) {
-      pinned_any |= region.mask & ~classes_[c].mask;
-    }
+    const batch::MaskScan cls_scan =
+        batch::scan_ids(cs.data(), cs.size(), csoa_.prefix.data(),
+                        csoa_.mask.data());
+    const Vertex pinned_any = region.mask & ~cls_scan.mask_and;
     if (pinned_any == 0 ||
         (cs.size() == 1 && subcube_contains(classes_[cs[0]], region))) {
       // A class spanning every remaining free dim while overlapping the
@@ -187,41 +168,31 @@ class PartitionRefiner {
     }
     const int d = 63 - __builtin_clzll(pinned_any);
     const Vertex b = Vertex{1} << d;
-    std::vector<std::uint32_t> q_lo, q_hi, c_lo, c_hi;
-    for (const std::uint32_t q : qs) {
-      const Subcube& s = queries_[q];
-      if (s.mask & b) {
-        q_lo.push_back(q);
-        q_hi.push_back(q);
-      } else if (s.prefix & b) {
-        q_hi.push_back(q);
-      } else {
-        q_lo.push_back(q);
-      }
-    }
-    for (const std::uint32_t c : cs) {
-      const Subcube& s = classes_[c];
-      if (s.mask & b) {
-        c_lo.push_back(c);
-        c_hi.push_back(c);
-      } else if (s.prefix & b) {
-        c_hi.push_back(c);
-      } else {
-        c_lo.push_back(c);
-      }
-    }
+    std::vector<std::uint32_t> q_lo = pool_.acquire();
+    std::vector<std::uint32_t> q_hi = pool_.acquire();
+    std::vector<std::uint32_t> c_lo = pool_.acquire();
+    std::vector<std::uint32_t> c_hi = pool_.acquire();
+    batch::partition_ids(qs.data(), qs.size(), qsoa_.prefix.data(),
+                         qsoa_.mask.data(), b, q_lo, q_hi);
+    batch::partition_ids(cs.data(), cs.size(), csoa_.prefix.data(),
+                         csoa_.mask.data(), b, c_lo, c_hi);
     qs.clear();
-    qs.shrink_to_fit();
     cs.clear();
-    cs.shrink_to_fit();
     const Subcube lo{region.prefix, region.mask & ~b};
     const Subcube hi{region.prefix | b, region.mask & ~b};
-    return recurse(lo, std::move(q_lo), std::move(c_lo), out) &&
-           recurse(hi, std::move(q_hi), std::move(c_hi), out);
+    const bool ok = recurse(lo, q_lo, c_lo, out) && recurse(hi, q_hi, c_hi, out);
+    pool_.release(std::move(q_lo));
+    pool_.release(std::move(q_hi));
+    pool_.release(std::move(c_lo));
+    pool_.release(std::move(c_hi));
+    return ok;
   }
 
   const std::vector<Subcube>& queries_;
   const std::vector<Subcube>& classes_;
+  SubcubeSoA qsoa_;
+  SubcubeSoA csoa_;
+  batch::IdVecPool pool_;
   std::uint64_t budget_;
 };
 
@@ -352,6 +323,7 @@ std::string KnowledgeClassPartition::apply_round(
   };
   std::unordered_map<CacheKey, UnionResult, CacheKeyHash> cache;
   std::uint64_t subtract_budget = opt_.subtract_budget;
+  batch::SubtractSweep sweep;
 
   auto compute_union = [&](const Triple& t) -> std::pair<UnionResult, std::string> {
     const GossipKnowledgePtr& ka = classes_[t.ca].know;
@@ -361,7 +333,7 @@ std::string KnowledgeClassPartition::apply_round(
     std::vector<WeightedSubcube> fresh;
     for (const WeightedSubcube& e : kb->entries) {
       const Subcube moved{(e.prefix ^ t.delta) & ~e.mask, e.mask};
-      if (!subtract_covered(moved, ka->entries, subtract_budget, fresh)) {
+      if (!subtract_covered(sweep, moved, ka->entries, subtract_budget, fresh)) {
         return {{}, "knowledge subtraction budget exceeded"};
       }
     }
@@ -372,7 +344,8 @@ std::string KnowledgeClassPartition::apply_round(
     } else {
       std::vector<WeightedSubcube> raw = ka->entries;
       raw.insert(raw.end(), fresh.begin(), fresh.end());
-      auto canon = canonical_reduce(std::move(raw), n_, opt_.reduce_budget);
+      auto canon = canonical_reduce_tree(std::move(raw), n_, opt_.reduce_budget,
+                                         pool_);
       if (!canon) return {{}, "knowledge union reduction budget exceeded"};
       auto merged = std::make_shared<GossipKnowledge>();
       merged->entries = std::move(*canon);
@@ -405,7 +378,7 @@ std::string KnowledgeClassPartition::apply_round(
   //    of every partially-consumed old class.
   std::vector<ClassEntry> next;
   next.reserve(classes_.size() + 2 * triples.size());
-  std::vector<std::vector<Subcube>> consumed(classes_.size());
+  std::vector<SubcubeSoA> consumed(classes_.size());
   for (const Triple& t : triples) {
     auto [it, fresh] = cache.try_emplace({t.ca, t.cb, t.delta});
     if (fresh) {
@@ -418,8 +391,8 @@ std::string KnowledgeClassPartition::apply_round(
     const Subcube partner{t.piece.prefix ^ t.delta, t.piece.mask};
     next.push_back({t.piece, it->second.caller_side, /*fresh=*/true});
     next.push_back({partner, it->second.receiver_side, /*fresh=*/true});
-    consumed[t.ca].push_back(t.piece);
-    consumed[t.cb].push_back(partner);
+    consumed[t.ca].push_back(t.piece.prefix, t.piece.mask);
+    consumed[t.cb].push_back(partner.prefix, partner.mask);
   }
   for (std::size_t i = 0; i < classes_.size(); ++i) {
     if (consumed[i].empty()) {
@@ -427,8 +400,8 @@ std::string KnowledgeClassPartition::apply_round(
       continue;
     }
     std::vector<WeightedSubcube> rem;
-    if (!subtract_recurse(classes_[i].cube, std::move(consumed[i]),
-                          subtract_budget, rem)) {
+    if (!subtract_family(sweep, classes_[i].cube, std::move(consumed[i]),
+                         subtract_budget, rem)) {
       return "knowledge subtraction budget exceeded";
     }
     for (const WeightedSubcube& r : rem) {
@@ -484,8 +457,25 @@ std::string KnowledgeClassPartition::merge_equal_classes(
   for (std::size_t i = 0; i < next.size(); ++i) {
     buckets[next[i].know->sig].push_back(i);
   }
-  std::vector<ClassEntry> out;
-  out.reserve(next.size());
+
+  // Emission plan: pass-through entries interleaved with per-group
+  // reduce tasks, recorded in bucket/group order.  The reductions
+  // themselves can then run in any order (farmed over the pool below)
+  // while the assembled output — and the first error — stays identical
+  // to the serial sweep, because assembly walks the plan in order.
+  struct Emit {
+    std::size_t cls = SIZE_MAX;   ///< pass-through: index into `next`
+    std::size_t task = SIZE_MAX;  ///< or: index into `tasks`
+  };
+  struct MergeTask {
+    GossipKnowledgePtr know;
+    std::vector<WeightedSubcube> cubes;
+    std::optional<std::vector<WeightedSubcube>> reduced;
+  };
+  std::vector<Emit> plan;
+  plan.reserve(next.size());
+  std::vector<MergeTask> tasks;
+
   for (auto& [sig, members] : buckets) {
     // Buckets of settled classes only (nothing created or re-cut this
     // round) are already in their reduced form from the round that made
@@ -499,7 +489,7 @@ std::string KnowledgeClassPartition::merge_equal_classes(
       }
     }
     if (!any_fresh) {
-      for (const std::size_t i : members) out.push_back(next[i]);
+      for (const std::size_t i : members) plan.push_back({i, SIZE_MAX});
       continue;
     }
     // Group by actual content within the sig bucket — a hash collision
@@ -524,21 +514,56 @@ std::string KnowledgeClassPartition::merge_equal_classes(
       group_cubes[g].push_back({next[i].cube.prefix, next[i].cube.mask, 1});
     }
     for (std::size_t g = 0; g < group_rep.size(); ++g) {
-      const GossipKnowledgePtr& know = next[group_rep[g]].know;
+      MergeTask t;
+      t.know = next[group_rep[g]].know;
       if (group_cubes[g].size() == 1) {
-        const WeightedSubcube& e = group_cubes[g][0];
-        out.push_back({Subcube{e.prefix, e.mask}, know, /*fresh=*/false});
-        continue;
+        t.reduced = std::move(group_cubes[g]);  // nothing to coalesce
+      } else {
+        t.cubes = std::move(group_cubes[g]);
       }
-      auto canon = canonical_reduce(std::move(group_cubes[g]), n_, opt_.reduce_budget);
-      if (!canon) return "class merge reduction budget exceeded";
-      for (const WeightedSubcube& e : *canon) {
-        if (e.mult != 1) {
-          return "knowledge classes overlap (overlapping exchange endpoints "
-                 "or internal error)";
-        }
-        out.push_back({Subcube{e.prefix, e.mask}, know, /*fresh=*/false});
+      plan.push_back({SIZE_MAX, tasks.size()});
+      tasks.push_back(std::move(t));
+    }
+  }
+
+  // The re-coalesce reductions, farmed over the pool when there are
+  // several (each task carries its own fresh reduce budget, so the
+  // tasks are fully independent).  With a single heavy task the
+  // parallelism moves inside canonical_reduce_tree instead — WorkerPool
+  // runs are not reentrant, so it is one level or the other.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!tasks[i].reduced) pending.push_back(i);
+  }
+  const auto reduce_task = [&](int j) {
+    MergeTask& t = tasks[pending[static_cast<std::size_t>(j)]];
+    t.reduced = canonical_reduce_tree(std::move(t.cubes), n_,
+                                      opt_.reduce_budget,
+                                      pending.size() > 1 ? nullptr : pool_);
+  };
+  if (pool_ != nullptr && pool_->workers() > 1 && pending.size() > 1) {
+    pool_->run(static_cast<int>(pending.size()), reduce_task);
+  } else {
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      reduce_task(static_cast<int>(j));
+    }
+  }
+
+  std::vector<ClassEntry> out;
+  out.reserve(next.size());
+  for (const Emit& e : plan) {
+    if (e.task == SIZE_MAX) {
+      out.push_back(next[e.cls]);
+      continue;
+    }
+    MergeTask& t = tasks[e.task];
+    if (!t.reduced) return "class merge reduction budget exceeded";
+    for (const WeightedSubcube& w : *t.reduced) {
+      if (w.mult != 1) {
+        return "knowledge classes overlap (overlapping exchange endpoints "
+               "or internal error)";
       }
+      out.push_back({Subcube{w.prefix, w.mask}, t.know, /*fresh=*/false});
     }
   }
   next = std::move(out);

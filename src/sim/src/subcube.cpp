@@ -2,42 +2,164 @@
 
 #include <cassert>
 
+#include "shc/sim/worker_pool.hpp"
+
 namespace shc {
 namespace {
 
-/// Hash for (prefix, mask, mult) triples in the lift-matching step.
-struct EntryKeyHash {
-  std::size_t operator()(const WeightedSubcube& e) const noexcept {
+/// Open-addressing scratch for the lift-matching step, reset by
+/// generation stamp instead of deallocation: canon_recurse matches the
+/// two halves' outputs at every internal node, and a per-node
+/// unordered_map was a hidden allocation in every divide step.  One
+/// instance serves a whole canonical_reduce call — a child's use is
+/// finished before its parent matches, and begin() bumping the
+/// generation invalidates all previous entries for free.
+class LiftScratch {
+ public:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  /// Starts a fresh match set sized for `need` keys.
+  void begin(std::size_t need) {
+    std::size_t cap = 16;
+    while (cap < need * 2) cap <<= 1;
+    if (cap > stamp_.size()) {
+      stamp_.assign(cap, 0);
+      key_.resize(cap);
+      idx_.resize(cap);
+      gen_ = 0;
+    }
+    mask_ = stamp_.size() - 1;
+    ++gen_;
+  }
+
+  /// Registers key -> i; the first insertion of a key wins (matching
+  /// unordered_map::emplace in the code this replaces).
+  void insert(const WeightedSubcube& e, std::uint32_t i) {
+    std::size_t j = hash(e) & mask_;
+    for (;;) {
+      if (stamp_[j] != gen_) {
+        stamp_[j] = gen_;
+        key_[j] = e;
+        idx_[j] = i;
+        return;
+      }
+      if (key_[j] == e) return;
+      j = (j + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t find(const WeightedSubcube& e) const noexcept {
+    std::size_t j = hash(e) & mask_;
+    for (;;) {
+      if (stamp_[j] != gen_) return kNone;
+      if (key_[j] == e) return idx_[j];
+      j = (j + 1) & mask_;
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::size_t hash(const WeightedSubcube& e) noexcept {
     std::uint64_t h = detail::mix_u64(e.prefix);
     h = detail::mix_u64(h ^ e.mask);
     h = detail::mix_u64(h ^ e.mult);
     return static_cast<std::size_t>(h);
   }
+
+  std::vector<std::uint64_t> stamp_;
+  std::vector<WeightedSubcube> key_;
+  std::vector<std::uint32_t> idx_;
+  std::uint64_t gen_ = 0;
+  std::size_t mask_ = 0;
 };
+
+/// Pool of output vectors for canon_recurse halves (same recycling
+/// rationale as batch::IdVecPool).
+class OutVecPool {
+ public:
+  [[nodiscard]] std::vector<WeightedSubcube> acquire() {
+    if (pool_.empty()) return {};
+    std::vector<WeightedSubcube> v = std::move(pool_.back());
+    pool_.pop_back();
+    v.clear();
+    return v;
+  }
+  void release(std::vector<WeightedSubcube>&& v) {
+    pool_.push_back(std::move(v));
+  }
+
+ private:
+  std::vector<std::vector<WeightedSubcube>> pool_;
+};
+
+/// Recycled scratch shared across one canonical_reduce call: batch
+/// halves, half outputs, the lift matcher, and the lifted flags.  The
+/// recursion is at most 64 deep, so each pool holds a handful of
+/// buffers where the previous code allocated two vectors and a hash map
+/// per node.
+struct CanonCtx {
+  batch::BatchPool batches;
+  OutVecPool outs;
+  LiftScratch lift;
+  std::vector<unsigned char> lifted;
+};
+
+/// The join step of the canonical-form recursion: entries present
+/// identically in both halves of branch bit `b` lift back to a free
+/// dimension; everything else passes through pinned.  Output order is
+/// fixed (hi entries first, then unlifted lo entries) so the result is
+/// a pure function of the two halves.
+void lift_join(const std::vector<WeightedSubcube>& lo_out,
+               const std::vector<WeightedSubcube>& hi_out, Vertex b,
+               std::vector<WeightedSubcube>& out, LiftScratch& lift,
+               std::vector<unsigned char>& lifted) {
+  lift.begin(lo_out.size());
+  for (std::size_t i = 0; i < lo_out.size(); ++i) {
+    lift.insert(lo_out[i], static_cast<std::uint32_t>(i));
+  }
+  lifted.assign(lo_out.size(), 0);
+  for (const WeightedSubcube& e : hi_out) {
+    WeightedSubcube key = e;
+    key.prefix &= ~b;
+    const std::uint32_t li = lift.find(key);
+    if (li != LiftScratch::kNone && !lifted[li]) {
+      lifted[li] = 1;
+      key.mask |= b;
+      out.push_back(key);
+    } else {
+      out.push_back(e);  // pinned 1
+    }
+  }
+  for (std::size_t i = 0; i < lo_out.size(); ++i) {
+    if (!lifted[i]) out.push_back(lo_out[i]);  // pinned 0
+  }
+}
 
 /// Recursive normal form; see the header.  `remaining` masks the
 /// dimensions not yet branched or skipped.  Returned entries carry
 /// absolute prefixes (branch bits included by the caller's half).
-bool canon_recurse(std::vector<WeightedSubcube>& entries, Vertex remaining,
-                   std::uint64_t& budget, std::vector<WeightedSubcube>& out) {
-  if (entries.empty()) return true;
-  if (budget < entries.size()) return false;
-  budget -= entries.size();
+bool canon_recurse(SubcubeBatch& entries, Vertex remaining,
+                   std::uint64_t& budget, std::vector<WeightedSubcube>& out,
+                   CanonCtx& ctx) {
+  const std::size_t count = entries.size();
+  if (count == 0) return true;
+  if (budget < count) return false;
+  budget -= count;
 
   // Dimensions some entry pins; everything else stays free in the result.
-  Vertex pinned_any = 0;
-  for (const WeightedSubcube& e : entries) pinned_any |= remaining & ~e.mask;
+  const batch::MaskScan scan =
+      batch::scan_all(entries.prefix.data(), entries.mask.data(), count);
+  const Vertex pinned_any = remaining & ~scan.mask_and;
 
   if (pinned_any == 0) {
     // Every entry covers the whole remaining subspace: identical
     // regions, multiplicities add.
-    WeightedSubcube merged = entries.front();
-    merged.mask = remaining;
-    merged.mult = 0;
-    for (const WeightedSubcube& e : entries) {
+    WeightedSubcube merged{entries.prefix[0], remaining, 0};
+    for (std::size_t i = 0; i < count; ++i) {
       // Saturate instead of wrapping: any mult != 1 fails the endgame
       // check, and a saturated value keeps that property.
-      if (!checked_acc_u64(merged.mult, e.mult)) merged.mult = ~std::uint64_t{0};
+      if (!checked_acc_u64(merged.mult, entries.mult[i])) {
+        merged.mult = ~std::uint64_t{0};
+      }
     }
     // The prefix outside `remaining` is shared by construction, and no
     // entry pins a remaining dimension here.
@@ -48,56 +170,32 @@ bool canon_recurse(std::vector<WeightedSubcube>& entries, Vertex remaining,
 
   const int d = 63 - __builtin_clzll(pinned_any);
   const Vertex b = Vertex{1} << d;
-  std::vector<WeightedSubcube> lo, hi;
-  for (const WeightedSubcube& e : entries) {
-    if (e.mask & b) {
-      WeightedSubcube half = e;
-      half.mask &= ~b;
-      lo.push_back(half);
-      half.prefix |= b;
-      hi.push_back(half);
-    } else if (e.prefix & b) {
-      hi.push_back(e);
-    } else {
-      lo.push_back(e);
-    }
-  }
+  SubcubeBatch lo = ctx.batches.acquire();
+  SubcubeBatch hi = ctx.batches.acquire();
+  batch::partition_weighted(entries, b, lo, hi);
   entries.clear();
-  entries.shrink_to_fit();
 
-  std::vector<WeightedSubcube> lo_out, hi_out;
-  if (!canon_recurse(lo, remaining & ~b, budget, lo_out)) return false;
-  if (!canon_recurse(hi, remaining & ~b, budget, hi_out)) return false;
-
-  // Lift entries present identically in both halves (hi entries carry
-  // bit d set; compare with it cleared).
-  std::unordered_map<WeightedSubcube, std::size_t, EntryKeyHash> left;
-  left.reserve(lo_out.size());
-  for (std::size_t i = 0; i < lo_out.size(); ++i) left.emplace(lo_out[i], i);
-  std::vector<bool> lifted(lo_out.size(), false);
-  for (WeightedSubcube e : hi_out) {
-    WeightedSubcube key = e;
-    key.prefix &= ~b;
-    auto it = left.find(key);
-    if (it != left.end() && !lifted[it->second]) {
-      lifted[it->second] = true;
-      key.mask |= b;
-      out.push_back(key);
-    } else {
-      out.push_back(e);  // pinned 1
-    }
+  std::vector<WeightedSubcube> lo_out = ctx.outs.acquire();
+  std::vector<WeightedSubcube> hi_out = ctx.outs.acquire();
+  const bool ok = canon_recurse(lo, remaining & ~b, budget, lo_out, ctx) &&
+                  canon_recurse(hi, remaining & ~b, budget, hi_out, ctx);
+  ctx.batches.release(std::move(lo));
+  ctx.batches.release(std::move(hi));
+  if (ok) {
+    // Safe to reuse the shared scratch: every descendant's lift
+    // finished before this one begins.
+    lift_join(lo_out, hi_out, b, out, ctx.lift, ctx.lifted);
   }
-  for (std::size_t i = 0; i < lo_out.size(); ++i) {
-    if (!lifted[i]) out.push_back(lo_out[i]);  // pinned 0
-  }
-  return true;
+  ctx.outs.release(std::move(lo_out));
+  ctx.outs.release(std::move(hi_out));
+  return ok;
 }
 
-void overlap_recurse(std::vector<std::uint32_t>& ids,
-                     const std::vector<Subcube>& family, Vertex remaining,
+void overlap_recurse(std::vector<std::uint32_t>& ids, const Vertex* fam_prefix,
+                     const Vertex* fam_mask, Vertex remaining,
                      std::uint64_t& budget, bool& budget_ok,
                      std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
-                     std::size_t max_pairs) {
+                     std::size_t max_pairs, batch::IdVecPool& pool) {
   if (!budget_ok || ids.size() <= 1) return;
   if (budget < ids.size()) {
     budget_ok = false;
@@ -105,8 +203,9 @@ void overlap_recurse(std::vector<std::uint32_t>& ids,
   }
   budget -= ids.size();
 
-  Vertex pinned_any = 0;
-  for (const std::uint32_t i : ids) pinned_any |= remaining & ~family[i].mask;
+  const batch::MaskScan scan =
+      batch::scan_ids(ids.data(), ids.size(), fam_prefix, fam_mask);
+  const Vertex pinned_any = remaining & ~scan.mask_and;
 
   if (pinned_any == 0) {
     // All members cover the whole remaining subspace and agree on the
@@ -129,45 +228,190 @@ void overlap_recurse(std::vector<std::uint32_t>& ids,
 
   const int d = 63 - __builtin_clzll(pinned_any);
   const Vertex b = Vertex{1} << d;
-  std::vector<std::uint32_t> lo, hi;
-  for (const std::uint32_t i : ids) {
-    const Subcube& s = family[i];
-    if (s.mask & b) {
-      lo.push_back(i);
-      hi.push_back(i);
-    } else if (s.prefix & b) {
-      hi.push_back(i);
-    } else {
-      lo.push_back(i);
-    }
-  }
+  std::vector<std::uint32_t> lo = pool.acquire();
+  std::vector<std::uint32_t> hi = pool.acquire();
+  batch::partition_ids(ids.data(), ids.size(), fam_prefix, fam_mask, b, lo, hi);
   ids.clear();
-  ids.shrink_to_fit();
-  overlap_recurse(lo, family, remaining & ~b, budget, budget_ok, pairs, max_pairs);
-  overlap_recurse(hi, family, remaining & ~b, budget, budget_ok, pairs, max_pairs);
+  overlap_recurse(lo, fam_prefix, fam_mask, remaining & ~b, budget, budget_ok,
+                  pairs, max_pairs, pool);
+  overlap_recurse(hi, fam_prefix, fam_mask, remaining & ~b, budget, budget_ok,
+                  pairs, max_pairs, pool);
+  pool.release(std::move(lo));
+  pool.release(std::move(hi));
 }
+
+/// canonical_reduce_tree farms the recursion's own top levels over the
+/// pool.  Inputs at or below kTreeChunk fall through to the plain
+/// serial reduce; larger inputs split the top kTopSplitDepth branch
+/// levels serially (at most 2^kTopSplitDepth farmed subtrees).  Both
+/// are pure functions of the input, never of the pool or thread count.
+constexpr std::size_t kTreeChunk = 4096;
+constexpr int kTopSplitDepth = 6;
+
+/// One node of the serially-descended top of the reduce recursion.
+/// Children are created after their parent, so a reverse index walk
+/// visits children before parents at join time.
+struct TopNode {
+  Vertex b = 0;            // branch bit (internal nodes only)
+  int lo = -1, hi = -1;    // child indices; -1 on leaves
+  int task = -1;           // farmed-subtree index; -1 otherwise
+  std::vector<WeightedSubcube> out;
+};
+
+/// A frontier subtree handed to the worker pool.
+struct TreeTask {
+  SubcubeBatch batch;
+  Vertex remaining = 0;
+  std::vector<WeightedSubcube> out;
+  std::uint64_t consumed = 0;
+  bool ok = true;
+};
 
 }  // namespace
 
 std::optional<std::vector<WeightedSubcube>> canonical_reduce(
     std::vector<WeightedSubcube> entries, int n, std::uint64_t budget) {
   assert(n >= 1 && n <= kMaxCubeDim);
+  CanonCtx ctx;
+  SubcubeBatch batch;
+  batch.reserve(entries.size());
+  for (const WeightedSubcube& e : entries) {
+    batch.push_back(e.prefix, e.mask, e.mult);
+  }
+  entries.clear();
+  entries.shrink_to_fit();
   std::vector<WeightedSubcube> out;
-  if (!canon_recurse(entries, mask_low(n), budget, out)) return std::nullopt;
+  if (!canon_recurse(batch, mask_low(n), budget, out, ctx)) return std::nullopt;
   return out;
+}
+
+std::optional<std::vector<WeightedSubcube>> canonical_reduce_tree(
+    std::vector<WeightedSubcube> entries, int n, std::uint64_t budget,
+    WorkerPool* pool) {
+  assert(n >= 1 && n <= kMaxCubeDim);
+  if (pool == nullptr || pool->workers() <= 1 ||
+      entries.size() <= kTreeChunk) {
+    return canonical_reduce(std::move(entries), n, budget);
+  }
+
+  SubcubeBatch root;
+  root.reserve(entries.size());
+  for (const WeightedSubcube& e : entries) {
+    root.push_back(e.prefix, e.mask, e.mult);
+  }
+  entries.clear();
+  entries.shrink_to_fit();
+
+  // Serial descent of the recursion's own top levels: identical branch
+  // choice and identical per-node budget accounting to canon_recurse,
+  // so the recursion tree — and with it both the output and the refusal
+  // predicate "total processed entries > budget" — matches the serial
+  // reduce exactly.  Each frontier subtree becomes an independent task.
+  std::vector<TopNode> nodes;
+  std::vector<TreeTask> tasks;
+  CanonCtx ctx;  // lift scratch for the serial joins below
+  bool fail = false;
+
+  const auto descend = [&](auto&& self, SubcubeBatch batch, Vertex remaining,
+                           int depth) -> int {
+    const int idx = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    if (fail || batch.size() == 0) return idx;
+    const std::size_t count = batch.size();
+    if (depth >= kTopSplitDepth || count <= kTreeChunk) {
+      nodes[idx].task = static_cast<int>(tasks.size());
+      tasks.push_back(TreeTask{std::move(batch), remaining, {}, 0, true});
+      return idx;
+    }
+    if (budget < count) {
+      fail = true;
+      return idx;
+    }
+    budget -= count;
+    const batch::MaskScan scan =
+        batch::scan_all(batch.prefix.data(), batch.mask.data(), count);
+    const Vertex pinned_any = remaining & ~scan.mask_and;
+    if (pinned_any == 0) {
+      WeightedSubcube merged{batch.prefix[0], remaining, 0};
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!checked_acc_u64(merged.mult, batch.mult[i])) {
+          merged.mult = ~std::uint64_t{0};
+        }
+      }
+      merged.prefix &= ~remaining;
+      nodes[idx].out.push_back(merged);
+      return idx;
+    }
+    const int d = 63 - __builtin_clzll(pinned_any);
+    const Vertex b = Vertex{1} << d;
+    SubcubeBatch lo;
+    SubcubeBatch hi;
+    batch::partition_weighted(batch, b, lo, hi);
+    batch.clear();
+    const int li = self(self, std::move(lo), remaining & ~b, depth + 1);
+    const int hi_i = self(self, std::move(hi), remaining & ~b, depth + 1);
+    nodes[idx].b = b;
+    nodes[idx].lo = li;
+    nodes[idx].hi = hi_i;
+    return idx;
+  };
+  descend(descend, std::move(root), mask_low(n), 0);
+  if (fail) return std::nullopt;
+
+  // Farm the frontier subtrees.  Each task runs against a private copy
+  // of the budget left after the descent; the exact shared-counter
+  // semantics are restored afterwards by summing actual consumption, so
+  // parallelism never changes which inputs are refused — a task can
+  // merely overshoot by up to one subtree of work before the sum check
+  // catches it.
+  const std::uint64_t task_budget = budget;
+  const auto run_task = [&](int j) {
+    TreeTask& t = tasks[static_cast<std::size_t>(j)];
+    static thread_local CanonCtx tls_ctx;
+    std::uint64_t local = task_budget;
+    t.ok = canon_recurse(t.batch, t.remaining, local, t.out, tls_ctx);
+    t.consumed = task_budget - local;
+  };
+  pool->run(static_cast<int>(tasks.size()), run_task);
+  for (const TreeTask& t : tasks) {
+    if (!t.ok || t.consumed > budget) return std::nullopt;
+    budget -= t.consumed;
+  }
+
+  // Join bottom-up: children were created after their parents, so a
+  // reverse index walk lifts each pair before its parent is consumed.
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    TopNode& nd = nodes[i];
+    if (nd.task >= 0) {
+      nd.out = std::move(tasks[static_cast<std::size_t>(nd.task)].out);
+      continue;
+    }
+    if (nd.lo < 0) continue;  // empty or fully-merged leaf
+    lift_join(nodes[static_cast<std::size_t>(nd.lo)].out,
+              nodes[static_cast<std::size_t>(nd.hi)].out, nd.b, nd.out,
+              ctx.lift, ctx.lifted);
+    nodes[static_cast<std::size_t>(nd.lo)].out = {};
+    nodes[static_cast<std::size_t>(nd.hi)].out = {};
+  }
+  return std::move(nodes.front().out);
 }
 
 std::optional<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
 find_overlapping_pairs(const std::vector<Subcube>& family, std::uint64_t budget,
                        std::size_t max_pairs) {
   std::vector<std::uint32_t> ids(family.size());
+  SubcubeSoA soa;
+  soa.reserve(family.size());
   for (std::size_t i = 0; i < family.size(); ++i) {
     ids[i] = static_cast<std::uint32_t>(i);
+    soa.push_back(family[i].prefix, family[i].mask);
   }
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
   bool budget_ok = true;
-  overlap_recurse(ids, family, mask_low(kMaxCubeDim), budget, budget_ok, pairs,
-                  max_pairs);
+  batch::IdVecPool pool;
+  overlap_recurse(ids, soa.prefix.data(), soa.mask.data(),
+                  mask_low(kMaxCubeDim), budget, budget_ok, pairs, max_pairs,
+                  pool);
   if (!budget_ok) return std::nullopt;
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());

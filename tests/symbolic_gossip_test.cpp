@@ -183,6 +183,24 @@ TEST(SymbolicGossipThreads, ShardedChecksReproduceTheSerialReport) {
   EXPECT_EQ(a.checks.collision_candidates, b.checks.collision_candidates);
 }
 
+TEST(SymbolicGossipThreads, ShardedChecksReproduceTheSerialFailureReport) {
+  // Truncated gather-broadcast: the knowledge partition (whose heavy
+  // reductions run as pooled merge trees when threads > 1) is exercised
+  // all the way to the "incomplete" verdict — the failing report must
+  // also be bit-for-bit thread-count independent.
+  const auto spec = design_sparse_hypercube(12, 3);
+  const SpecView view(spec);
+  auto s = make_symbolic_gossip_schedule(spec, 0);
+  s.rounds.resize(static_cast<std::size_t>(s.rounds.size() - 2));
+  SymbolicGossipOptions sharded;
+  sharded.threads = 4;
+  const auto serial_rep = validate_gossip_symbolic(view, s, spec.k());
+  const auto sharded_rep = validate_gossip_symbolic(view, s, spec.k(), sharded);
+  expect_same_report(serial_rep, sharded_rep, "threads=4 vs threads=1 failing");
+  EXPECT_FALSE(serial_rep.ok);
+  EXPECT_FALSE(serial_rep.complete);
+}
+
 // ---- handcrafted violations -------------------------------------------
 
 GossipReport check_on_cube(const SymbolicSchedule& s, int n, int k,

@@ -26,6 +26,11 @@ conventions that are easy to break silently in review.  This lint walks
   layering          `#include "shc/<module>/..."` edges must follow the
                     README module map (e.g. sim never includes mlbg or
                     gossip headers).
+  kernel-layer      The batched SoA kernel header (sim/subcube_batch.hpp)
+                    sits below the rest of sim/: it may include only
+                    shc/bits/ headers, so every consumer (frontier,
+                    ledger, partition refiner) can build on it without
+                    cycles and the scalar-fallback build stays minimal.
 
 Suppression: append `// shc-lint: allow(<rule>)` on the offending line
 or the line directly above it, with a comment explaining why.  Extending
@@ -68,6 +73,13 @@ THREAD_ALLOWED_FILES = ("src/sim/include/shc/sim/worker_pool.hpp",)
 # assert() policy applies to the modules whose functions take caller
 # input directly (the PR 2 bug class lived in graph/).
 ASSERT_DIRS = ("src/graph", "src/coding", "src/labeling")
+
+# Kernel layer: headers that sit below their own module's layering set.
+# subcube_batch.hpp is the leaf the hot paths build on — it may reach
+# only into bits/ (its doc comment promises exactly this).
+KERNEL_LAYER_FILES = {
+    "src/sim/include/shc/sim/subcube_batch.hpp": {"bits"},
+}
 
 # Module layering: which "shc/<module>/" headers each module may include.
 # Mirrors README's dependency map; src/include's umbrella header is the
@@ -178,6 +190,7 @@ def lint_file(path: pathlib.Path, rel: str, out: Findings) -> None:
     in_assert_dir = rel.startswith(ASSERT_DIRS) and rel.endswith(".cpp")
     module = rel.split("/")[1] if rel.count("/") >= 1 else ""
     layer = LAYERING.get(module)
+    kernel_layer = KERNEL_LAYER_FILES.get(rel)
 
     for lineno, line in enumerate(code_lines, start=1):
         if in_counter_dir and "checked_" not in line and "saturating_" not in line:
@@ -219,6 +232,17 @@ def lint_file(path: pathlib.Path, rel: str, out: Findings) -> None:
                     path, lineno, "layering",
                     f"module '{module}' must not include shc/{m.group(1)}/ "
                     f"headers (allowed: {', '.join(sorted(layer))})",
+                )
+        if kernel_layer is not None:
+            m = INCLUDE_RE.search(raw_lines[lineno - 1])
+            if m and m.group(1) not in kernel_layer and not ok(
+                lineno, "kernel-layer"
+            ):
+                out.add(
+                    path, lineno, "kernel-layer",
+                    f"kernel header must stay below the rest of its module: "
+                    f"only shc/{{{', '.join(sorted(kernel_layer))}}}/ "
+                    f"includes are allowed, not shc/{m.group(1)}/",
                 )
 
 

@@ -35,6 +35,22 @@ BASE_SCHED = {
         "real_time": 2.0,
     },
     "BM_SymbolicGossip/33": {"exchanges": 1.0, "groups": 33.0, "real_time": 0.1},
+    "BM_SymbolicCertify/48": {
+        "calls": 2.0 ** 48, "groups": 48.0, "minimum_time": 1.0,
+        "real_time": 10.0,
+    },
+    "BM_SymbolicCertifyDesigned/63": {
+        "calls": 9.223372036854776e18, "groups": 630.0, "minimum_time": 1.0,
+        "real_time": 100.0,
+    },
+    "BM_SymbolicCertifyThreads/1": {
+        "groups": 47.0, "peak_frontier_subcubes": 7.0,
+        "occupancy_claims": 11.0, "minimum_time": 1.0, "real_time": 8.0,
+    },
+    "BM_SymbolicCertifyThreads/4": {
+        "groups": 47.0, "peak_frontier_subcubes": 7.0,
+        "occupancy_claims": 11.0, "minimum_time": 1.0, "real_time": 3.0,
+    },
 }
 BASE_SWEEP = [
     {"engine": "symbolic", "n": 40, "k": 1, "rounds": 40, "calls": 1.0,
@@ -124,6 +140,63 @@ class SchedulePaths(GateHarness):
     def test_improvement_always_passes(self) -> None:
         fresh = json.loads(json.dumps(BASE_SCHED))
         fresh["BM_SymbolicCertify/63"]["real_time"] = 0.5
+        status, out = self.run_gate(fresh, list(BASE_SWEEP))
+        self.assertEqual(status, 0, out)
+
+
+class ThreadRows(GateHarness):
+    def test_thread_row_time_is_never_gated(self) -> None:
+        # 8.0s -> 80.0s on the threads row: wall time there measures the
+        # host's cores, so only counters are gated.
+        fresh = json.loads(json.dumps(BASE_SCHED))
+        fresh["BM_SymbolicCertifyThreads/1"]["real_time"] = 80.0
+        status, out = self.run_gate(fresh, list(BASE_SWEEP))
+        self.assertEqual(status, 0, out)
+
+    def test_thread_counter_divergence_fails(self) -> None:
+        # threads=4 reporting different groups than threads=1 is a
+        # determinism bug even if both match their own baselines... but
+        # drift vs baseline already fails; make the rows agree with the
+        # baseline being stale instead: fresh rows diverge from each
+        # other only.
+        fresh = json.loads(json.dumps(BASE_SCHED))
+        base = json.loads(json.dumps(BASE_SCHED))
+        fresh["BM_SymbolicCertifyThreads/4"]["groups"] = 48.0
+        base["BM_SymbolicCertifyThreads/4"]["groups"] = 48.0
+        status, out = self.run_gate(fresh, list(BASE_SWEEP), base_sched=base)
+        self.assertEqual(status, 1, out)
+        self.assertIn("thread invariance", out)
+        self.assertIn("bit-for-bit", out)
+
+
+class RatioGate(GateHarness):
+    def test_ratio_regression_fails_even_with_widened_tolerance(self) -> None:
+        # Designed-63 slows from 100s to 300s while the 48 row holds:
+        # the 10.0 committed ratio becomes 30.0.  A widened absolute
+        # tolerance (CI's 1.5) lets the absolute row through; the ratio
+        # gate must still fail.
+        fresh = json.loads(json.dumps(BASE_SCHED))
+        fresh["BM_SymbolicCertifyDesigned/63"]["real_time"] = 300.0
+        status, out = self.run_gate(fresh, list(BASE_SWEEP),
+                                    extra_args=["--tolerance", "2.5"])
+        self.assertEqual(status, 1, out)
+        self.assertIn("ratio gate", out)
+        self.assertIn("machine-independent", out)
+
+    def test_uniform_slowdown_passes_the_ratio_gate(self) -> None:
+        # A 2x-slower runner moves both rows together: absolute times
+        # need the widened tolerance, the ratio needs nothing.
+        fresh = json.loads(json.dumps(BASE_SCHED))
+        for row in ("BM_SymbolicCertify/48", "BM_SymbolicCertifyDesigned/63",
+                    "BM_SymbolicCertify/63"):
+            fresh[row]["real_time"] *= 2.0
+        status, out = self.run_gate(fresh, list(BASE_SWEEP),
+                                    extra_args=["--tolerance", "1.5"])
+        self.assertEqual(status, 0, out)
+
+    def test_ratio_improvement_passes(self) -> None:
+        fresh = json.loads(json.dumps(BASE_SCHED))
+        fresh["BM_SymbolicCertifyDesigned/63"]["real_time"] = 40.0
         status, out = self.run_gate(fresh, list(BASE_SWEEP))
         self.assertEqual(status, 0, out)
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Self-test for bench/plot_trend.py — the perf-trajectory trend report.
+
+The report is a reading aid, not a gate, but a silently wrong chart
+(mis-scaled sparkline, inverted speedup factor, a row dropped from the
+walk) would misinform exactly the decision the trajectory exists for.
+Covers: parsing (decorated benchmark names, missing times), sparkline
+scaling, speedup arithmetic in both directions, multi-snapshot rendering,
+and the unusable-input exits."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "bench")
+)
+
+import plot_trend  # noqa: E402
+
+
+def artifact(rows: dict[str, float]) -> str:
+    return json.dumps({"benchmarks": [
+        {"name": name, "real_time": t, "time_unit": "s"}
+        for name, t in rows.items()
+    ]})
+
+
+class Parsing(unittest.TestCase):
+    def test_decorated_names_are_stripped(self) -> None:
+        text = json.dumps({"benchmarks": [
+            {"name": "BM_X/63/iterations:1", "real_time": 2.5,
+             "time_unit": "s"},
+            {"name": "BM_Y/1", "real_time": 0.25, "time_unit": "s"},
+        ]})
+        self.assertEqual(plot_trend.parse_schedule(text),
+                         {"BM_X/63": 2.5, "BM_Y/1": 0.25})
+
+    def test_rows_without_times_are_skipped(self) -> None:
+        text = json.dumps({"benchmarks": [
+            {"name": "BM_NoTime"},
+            {"name": "BM_Ok", "real_time": 1.0, "time_unit": "s"},
+        ]})
+        self.assertEqual(plot_trend.parse_schedule(text), {"BM_Ok": 1.0})
+
+    def test_default_time_unit_is_nanoseconds(self) -> None:
+        # google-benchmark omits time_unit for ns rows; they must land
+        # in seconds, not mislabel a 19-microsecond loop as 19000s.
+        text = json.dumps({"benchmarks": [
+            {"name": "BM_Fast", "real_time": 19000.0},
+        ]})
+        self.assertEqual(plot_trend.parse_schedule(text),
+                         {"BM_Fast": 1.9e-05})
+
+
+class Sparklines(unittest.TestCase):
+    def test_monotone_series_uses_the_full_glyph_range(self) -> None:
+        line = plot_trend.sparkline([1.0, 2.0, 3.0, 4.0])
+        self.assertEqual(len(line), 4)
+        self.assertEqual(line[0], plot_trend.SPARKS[1])
+        self.assertEqual(line[-1], plot_trend.SPARKS[8])
+
+    def test_flat_series_is_flat(self) -> None:
+        line = plot_trend.sparkline([2.0, 2.0, 2.0])
+        self.assertEqual(len(set(line)), 1)
+
+
+class Rendering(unittest.TestCase):
+    def render(self, snaps: list[tuple[str, dict[str, float]]]) -> tuple[int, str]:
+        out = io.StringIO()
+        plotted = plot_trend.render(snaps, out=out)
+        return plotted, out.getvalue()
+
+    def test_speedup_factor_and_direction(self) -> None:
+        plotted, out = self.render([
+            ("a", {"BM_Designed/63": 426.5}),
+            ("b", {"BM_Designed/63": 213.25}),
+        ])
+        self.assertEqual(plotted, 1)
+        self.assertIn("2.00x faster", out)
+
+    def test_regression_is_called_out(self) -> None:
+        plotted, out = self.render([
+            ("a", {"BM_X": 1.0}),
+            ("b", {"BM_X": 4.0}),
+        ])
+        self.assertEqual(plotted, 1)
+        self.assertIn("SLOWER", out)
+
+    def test_row_missing_from_all_but_one_snapshot_is_dropped(self) -> None:
+        plotted, out = self.render([
+            ("a", {"BM_X": 1.0, "BM_OnlyOnce": 9.0}),
+            ("b", {"BM_X": 1.0}),
+        ])
+        self.assertEqual(plotted, 1)
+        self.assertNotIn("BM_OnlyOnce", out)
+
+    def test_gaps_in_the_middle_are_bridged(self) -> None:
+        plotted, out = self.render([
+            ("a", {"BM_X": 4.0}),
+            ("b", {}),
+            ("c", {"BM_X": 1.0}),
+        ])
+        self.assertEqual(plotted, 1)
+        self.assertIn("4.00x faster", out)
+
+
+class CommandLine(unittest.TestCase):
+    def run_main(self, argv: list[str]) -> tuple[int, str]:
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            status = plot_trend.main(argv)
+        return status, out.getvalue() + err.getvalue()
+
+    def test_two_files_plot_a_trend(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "old.json").write_text(artifact({"BM_X": 3.0}))
+            (root / "new.json").write_text(artifact({"BM_X": 1.5}))
+            status, out = self.run_main(
+                [str(root / "old.json"), str(root / "new.json")])
+        self.assertEqual(status, 0, out)
+        self.assertIn("2.00x faster", out)
+
+    def test_single_snapshot_is_refused(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            p = pathlib.Path(tmp) / "only.json"
+            p.write_text(artifact({"BM_X": 3.0}))
+            status, out = self.run_main([str(p)])
+        self.assertEqual(status, 2, out)
+        self.assertIn("at least two snapshots", out)
+
+    def test_unreadable_file_is_exit_2(self) -> None:
+        status, out = self.run_main(["/nonexistent/bench.json"])
+        self.assertEqual(status, 2, out)
+        self.assertIn("cannot load", out)
+
+    def test_disjoint_rows_are_exit_2(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "a.json").write_text(artifact({"BM_A": 1.0}))
+            (root / "b.json").write_text(artifact({"BM_B": 1.0}))
+            status, out = self.run_main(
+                [str(root / "a.json"), str(root / "b.json")])
+        self.assertEqual(status, 2, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -199,6 +199,40 @@ class LayeringRule(LintHarness):
         )
 
 
+class KernelLayerRule(LintHarness):
+    KERNEL = "src/sim/include/shc/sim/subcube_batch.hpp"
+
+    def test_kernel_including_sim_flagged(self) -> None:
+        # Even an include its own module's layering allows (sim -> sim)
+        # is out of bounds for the kernel header.
+        self.assert_finding(
+            {self.KERNEL: '#include "shc/sim/subcube.hpp"\n'}, "kernel-layer"
+        )
+
+    def test_kernel_including_graph_flagged(self) -> None:
+        self.assert_finding(
+            {self.KERNEL: '#include "shc/graph/graph.hpp"\n'}, "kernel-layer"
+        )
+
+    def test_bits_and_system_headers_clean(self) -> None:
+        self.assert_clean(
+            {
+                self.KERNEL:
+                    "#include <cstdint>\n"
+                    "#include <vector>\n"
+                    '#include "shc/bits/vertex.hpp"\n'
+            }
+        )
+
+    def test_other_sim_headers_unaffected(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/include/shc/sim/subcube.hpp":
+                    '#include "shc/sim/subcube_batch.hpp"\n'
+            }
+        )
+
+
 class RealTree(LintHarness):
     def test_repo_is_clean(self) -> None:
         """The actual tree must lint clean — this is the ctest gate."""
