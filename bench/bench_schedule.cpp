@@ -17,8 +17,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <new>
+#include <string>
 
+#include "shc/obs/recorder.hpp"
 #include "shc/shc.hpp"
 
 // ---- global allocation counter -----------------------------------------
@@ -47,6 +50,24 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace {
 
 using namespace shc;
+
+// Flight-recorder base path, set by --trace=BASE (stripped from argv
+// before google-benchmark sees it) or the SHC_TRACE environment
+// variable.  Each gated symbolic row gets its own session writing
+// BASE.<row '/'→'-'>.trace.json and BASE.<row>.rounds.jsonl, so the
+// headline certifications come out of a `record` run with per-round
+// telemetry attached.  The recorder never feeds a verdict, so the
+// gates below are tracing-independent.
+std::string g_trace_base;  // NOLINT(runtime/string)
+
+std::unique_ptr<obs::TraceSession> trace_session_for_row(std::string row) {
+  if (g_trace_base.empty()) return nullptr;
+  for (char& c : row) {
+    if (c == '/') c = '-';
+  }
+  return std::make_unique<obs::TraceSession>(
+      obs::trace_options_from_base(g_trace_base + "." + row));
+}
 
 template <class Fn>
 std::uint64_t allocations_during(Fn&& fn) {
@@ -169,6 +190,8 @@ void BM_SymbolicCertify(benchmark::State& state) {
   const auto spec = symbolic_showcase_spec(n, 2);
   ValidationOptions opt;
   opt.k = spec.k();
+  const auto trace =
+      trace_session_for_row("BM_SymbolicCertify/" + std::to_string(n));
   SymbolicCertification cert;
   for (auto _ : state) {
     cert = certify_broadcast_symbolic(spec, 0, opt);
@@ -197,6 +220,10 @@ void BM_SymbolicCertify(benchmark::State& state) {
       static_cast<double>(cert.checks.collision_candidates);
   state.counters["sampled_calls"] =
       static_cast<double>(cert.checks.sampled_calls);
+  state.counters["rounds_checked"] =
+      static_cast<double>(cert.checks.rounds_checked);
+  state.counters["reduce_tree_tasks"] =
+      static_cast<double>(cert.checks.reduce_tree_tasks);
   state.counters["minimum_time"] = cert.report.minimum_time ? 1.0 : 0.0;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(cert.checks.groups));
@@ -220,6 +247,8 @@ void BM_SymbolicCertifyDesigned(benchmark::State& state) {
   const auto spec = SparseHypercubeSpec::construct(n, {theorem5_core(n)});
   ValidationOptions opt;
   opt.k = spec.k();
+  const auto trace =
+      trace_session_for_row("BM_SymbolicCertifyDesigned/" + std::to_string(n));
   SymbolicCertification cert;
   for (auto _ : state) {
     cert = certify_broadcast_symbolic(spec, 0, opt);
@@ -244,6 +273,10 @@ void BM_SymbolicCertifyDesigned(benchmark::State& state) {
       static_cast<double>(cert.checks.peak_round_groups);
   state.counters["occupancy_claims"] =
       static_cast<double>(cert.checks.occupancy_claims);
+  state.counters["rounds_checked"] =
+      static_cast<double>(cert.checks.rounds_checked);
+  state.counters["reduce_tree_tasks"] =
+      static_cast<double>(cert.checks.reduce_tree_tasks);
   state.counters["minimum_time"] = cert.report.minimum_time ? 1.0 : 0.0;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(cert.checks.groups));
@@ -264,6 +297,8 @@ BENCHMARK(BM_SymbolicCertifyDesigned)
 void BM_SymbolicGossip(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto spec = symbolic_showcase_spec(n, 2);
+  const auto trace =
+      trace_session_for_row("BM_SymbolicGossip/" + std::to_string(n));
   SymbolicGossipCertification cert;
   for (auto _ : state) {
     cert = certify_gossip_symbolic(spec, 0);
@@ -291,6 +326,12 @@ void BM_SymbolicGossip(benchmark::State& state) {
       static_cast<double>(cert.checks.classes.unions_computed);
   state.counters["union_cache_hits"] =
       static_cast<double>(cert.checks.classes.union_cache_hits);
+  state.counters["union_cache_misses"] =
+      static_cast<double>(cert.checks.classes.union_cache_misses);
+  state.counters["rounds_checked"] =
+      static_cast<double>(cert.checks.rounds_checked);
+  state.counters["reduce_tree_tasks"] =
+      static_cast<double>(cert.checks.classes.reduce_tree_tasks);
   state.counters["collision_candidates"] =
       static_cast<double>(cert.checks.collision_candidates);
   state.counters["sampled_calls"] =
@@ -336,6 +377,8 @@ void BM_SymbolicCertifyThreads(benchmark::State& state) {
       static_cast<double>(cert.checks.peak_frontier_subcubes);
   state.counters["occupancy_claims"] =
       static_cast<double>(cert.checks.occupancy_claims);
+  state.counters["rounds_checked"] =
+      static_cast<double>(cert.checks.rounds_checked);
   state.counters["minimum_time"] = cert.report.minimum_time ? 1.0 : 0.0;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(cert.checks.groups));
@@ -511,6 +554,23 @@ BENCHMARK(BM_StreamingCertify)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not recognize, so --trace=BASE
+  // is parsed and stripped from argv before Initialize sees it.  SHC_TRACE
+  // supplies the same base when the flag is absent.
+  int kept = 1;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--trace=", 0) == 0) {
+      g_trace_base = arg.substr(std::string("--trace=").size());
+    } else {
+      argv[kept++] = argv[a];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  if (g_trace_base.empty()) {
+    if (const char* env = std::getenv("SHC_TRACE")) g_trace_base = env;
+  }
   print_flat_engine_proof();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -57,21 +57,32 @@ import sys
 GATED_SCHEDULE = {
     "BM_StreamingCertify/20": ["calls", "minimum_time"],
     "BM_StreamingCertify/24": ["calls", "minimum_time"],
-    "BM_SymbolicCertify/40": ["calls", "groups", "minimum_time"],
-    "BM_SymbolicCertify/48": ["calls", "groups", "minimum_time"],
-    "BM_SymbolicCertify/63": ["calls", "groups", "minimum_time"],
-    "BM_SymbolicCertifyDesigned/63": ["calls", "groups", "minimum_time"],
-    "BM_SymbolicGossip/26": ["exchanges", "groups"],
-    "BM_SymbolicGossip/33": ["exchanges", "groups"],
-    "BM_SymbolicGossip/40": ["exchanges", "groups"],
+    "BM_SymbolicCertify/40": ["calls", "groups", "minimum_time",
+                              "rounds_checked"],
+    "BM_SymbolicCertify/48": ["calls", "groups", "minimum_time",
+                              "rounds_checked"],
+    "BM_SymbolicCertify/63": ["calls", "groups", "minimum_time",
+                              "rounds_checked"],
+    "BM_SymbolicCertifyDesigned/63": ["calls", "groups", "minimum_time",
+                                      "rounds_checked"],
+    "BM_SymbolicGossip/26": ["exchanges", "groups", "rounds_checked",
+                             "union_cache_hits", "union_cache_misses"],
+    "BM_SymbolicGossip/33": ["exchanges", "groups", "rounds_checked",
+                             "union_cache_hits", "union_cache_misses"],
+    "BM_SymbolicGossip/40": ["exchanges", "groups", "rounds_checked",
+                             "union_cache_hits", "union_cache_misses"],
     "BM_SymbolicCertifyThreads/1": ["groups", "peak_frontier_subcubes",
-                                    "occupancy_claims", "minimum_time"],
+                                    "occupancy_claims", "rounds_checked",
+                                    "minimum_time"],
     "BM_SymbolicCertifyThreads/2": ["groups", "peak_frontier_subcubes",
-                                    "occupancy_claims", "minimum_time"],
+                                    "occupancy_claims", "rounds_checked",
+                                    "minimum_time"],
     "BM_SymbolicCertifyThreads/4": ["groups", "peak_frontier_subcubes",
-                                    "occupancy_claims", "minimum_time"],
+                                    "occupancy_claims", "rounds_checked",
+                                    "minimum_time"],
     "BM_SymbolicCertifyThreads/8": ["groups", "peak_frontier_subcubes",
-                                    "occupancy_claims", "minimum_time"],
+                                    "occupancy_claims", "rounds_checked",
+                                    "minimum_time"],
 }
 
 # Rows whose wall time is a function of the host's core count: counters
@@ -82,8 +93,11 @@ TIME_UNGATED = {f"BM_SymbolicCertifyThreads/{t}" for t in (1, 2, 4, 8)}
 # with each other (not merely with the baseline) — the symbolic reports
 # are bit-for-bit identical at every thread count by contract.
 THREAD_INVARIANT_ROWS = [f"BM_SymbolicCertifyThreads/{t}" for t in (1, 2, 4, 8)]
+# Deliberately absent: reduce_tree_tasks — how many subtrees were farmed
+# to the pool is a function of the thread count by design; it is
+# telemetry, never part of the determinism contract.
 THREAD_INVARIANT_COUNTERS = ["groups", "peak_frontier_subcubes",
-                             "occupancy_claims"]
+                             "occupancy_claims", "rounds_checked"]
 
 # Machine-independent time gates: (numerator row, denominator row).  The
 # committed ratio is a property of the engine, not the runner, so this
@@ -96,8 +110,11 @@ RATIO_GATES = [
 # (engine, n, k, model); every committed row of these engines is gated.
 SWEEP_COUNTERS = {
     "streaming": ["rounds", "calls", "minimum_time", "ok"],
-    "symbolic": ["rounds", "calls", "groups", "minimum_time", "ok"],
-    "symbolic-gossip": ["rounds", "exchanges", "groups", "complete", "ok"],
+    "symbolic": ["rounds", "calls", "groups", "minimum_time", "ok",
+                 "rounds_checked", "union_cache_hits", "union_cache_misses"],
+    "symbolic-gossip": ["rounds", "exchanges", "groups", "complete", "ok",
+                        "rounds_checked", "union_cache_hits",
+                        "union_cache_misses"],
 }
 
 NOISE_FLOOR_SECONDS = 0.5

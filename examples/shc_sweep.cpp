@@ -21,18 +21,25 @@
 //   --gossip N    append one symbolic gather-broadcast gossip scenario
 //                 at n=N (n <= 63; all-to-all exchange certified past
 //                 the exact validator's 2^13 wall)
+//   --trace PATH  install a flight-recorder session for the whole sweep
+//                 ("x.json" -> Chrome trace only, "x.jsonl" -> per-round
+//                 JSONL only, else both PATH.trace.json and
+//                 PATH.rounds.jsonl).  Forces --threads 1 so the traced
+//                 scenarios do not interleave.
 #include <atomic>
 #include <charconv>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "shc/obs/recorder.hpp"
 #include "shc/shc.hpp"
 
 namespace {
@@ -93,6 +100,10 @@ std::string run_symbolic_scenario(const Scenario& sc) {
      << ",\"collision_candidates\":" << cert.checks.collision_candidates
      << ",\"occupancy_claims\":" << cert.checks.occupancy_claims
      << ",\"sampled_calls\":" << cert.checks.sampled_calls
+     << ",\"rounds_checked\":" << cert.checks.rounds_checked
+     << ",\"union_cache_hits\":" << cert.checks.union_cache_hits
+     << ",\"union_cache_misses\":" << cert.checks.union_cache_misses
+     << ",\"reduce_tree_tasks\":" << cert.checks.reduce_tree_tasks
      << ",\"seconds\":" << seconds;
   if (!cert.report.ok) {
     os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
@@ -133,6 +144,10 @@ std::string run_gossip_scenario(const Scenario& sc) {
      << ",\"collision_candidates\":" << cert.checks.collision_candidates
      << ",\"occupancy_claims\":" << cert.checks.occupancy_claims
      << ",\"sampled_calls\":" << cert.checks.sampled_calls
+     << ",\"rounds_checked\":" << cert.checks.rounds_checked
+     << ",\"union_cache_hits\":" << cert.checks.classes.union_cache_hits
+     << ",\"union_cache_misses\":" << cert.checks.classes.union_cache_misses
+     << ",\"reduce_tree_tasks\":" << cert.checks.classes.reduce_tree_tasks
      << ",\"seconds\":" << seconds;
   if (!cert.report.ok) {
     os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
@@ -213,6 +228,7 @@ int main(int argc, char** argv) {
   int symbolic_n = 0;
   int gossip_n = 0;
   std::string out_path;
+  std::string trace_base;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--threads" && a + 1 < argc) threads = parse_int_or_die(argv[++a]);
@@ -223,11 +239,24 @@ int main(int argc, char** argv) {
       symbolic_n = parse_int_or_die(argv[++a]);
     } else if (arg == "--gossip" && a + 1 < argc) {
       gossip_n = parse_int_or_die(argv[++a]);
+    } else if (arg == "--trace" && a + 1 < argc) {
+      trace_base = argv[++a];
     } else {
       std::cerr << "usage: shc_sweep [--threads T] [--out PATH] [--max-n N] "
-                   "[--big N] [--symbolic N] [--gossip N]\n";
+                   "[--big N] [--symbolic N] [--gossip N] [--trace PATH]\n";
       return 2;
     }
+  }
+  // Tracing serializes the sweep: with one scenario in flight at a time
+  // the recorded phase scopes and round marks belong to one scenario
+  // each instead of interleaving into an unreadable braid.  (Report
+  // contents are tracing-independent either way — the recorder never
+  // feeds a verdict.)
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!trace_base.empty()) {
+    threads = 1;
+    trace = std::make_unique<obs::TraceSession>(
+        obs::trace_options_from_base(trace_base));
   }
   if (big_n > 32 || max_n > 32) {
     std::cerr << "shc_sweep: n is capped at 32 (the streaming producer holds "

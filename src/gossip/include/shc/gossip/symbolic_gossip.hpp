@@ -56,6 +56,7 @@
 #include "shc/bits/checked.hpp"
 #include "shc/gossip/gossip.hpp"
 #include "shc/mlbg/symbolic_broadcast.hpp"
+#include "shc/obs/recorder.hpp"
 #include "shc/sim/knowledge_classes.hpp"
 #include "shc/sim/network.hpp"
 #include "shc/sim/occupancy_ledger.hpp"
@@ -103,13 +104,16 @@ struct SymbolicGossipOptions {
   int threads = 1;
 };
 
-/// Group/knowledge statistics of one symbolic gossip run.
+/// Group/knowledge statistics of one symbolic gossip run.  The union
+/// cache and reduce-tree effort counters live in `classes`
+/// (KnowledgeClassStats) — the partition owns that machinery.
 struct SymbolicGossipStats {
   std::uint64_t groups = 0;            ///< call groups consumed
   std::uint64_t peak_round_groups = 0;
   std::uint64_t collision_candidates = 0;  ///< pairs given exact edge analysis
   std::uint64_t occupancy_claims = 0;  ///< subcubes consumed by the ledger
   std::uint64_t sampled_calls = 0;     ///< concrete exchanges replayed
+  std::uint64_t rounds_checked = 0;  ///< rounds that passed every per-round clause
   KnowledgeClassStats classes;         ///< partition size/effort counters
 };
 
@@ -220,14 +224,33 @@ class SymbolicGossipValidator {
         stats_.peak_round_groups,
         static_cast<std::uint64_t>(round_.groups.size()));
 
-    if (!check_endpoint_uniqueness(where)) return;
-    if (round_multihop_ && !check_edge_collisions(where)) return;
-    if (sopt_.sample_groups_per_round > 0 && !sampled_replay(where)) return;
+    {
+      SHC_TRACE_SCOPE("endpoint_check");
+      if (!check_endpoint_uniqueness(where)) return;
+    }
+    if (round_multihop_) {
+      SHC_TRACE_SCOPE("collision_check");
+      if (!check_edge_collisions(where)) return;
+    }
+    if (sopt_.sample_groups_per_round > 0) {
+      SHC_TRACE_SCOPE("sampled_replay");
+      if (!sampled_replay(where)) return;
+    }
 
-    if (std::string err = state_.apply_round(exchanges_); !err.empty()) {
-      return fail(where + err);
+    {
+      SHC_TRACE_SCOPE("apply_round");
+      if (std::string err = state_.apply_round(exchanges_); !err.empty()) {
+        return fail(where + err);
+      }
     }
     stats_.classes = state_.stats();
+    saturating_acc_u64(stats_.rounds_checked, 1);
+    SHC_TRACE_COUNTER("round_groups", round_.groups.size());
+    SHC_TRACE_COUNTER("groups_total", stats_.groups);
+    SHC_TRACE_COUNTER("knowledge_classes", stats_.classes.classes);
+    SHC_TRACE_COUNTER("union_cache_hits", stats_.classes.union_cache_hits);
+    SHC_TRACE_COUNTER("occupancy_claims", stats_.occupancy_claims);
+    SHC_TRACE_ROUND(rep_.rounds);
   }
 
   [[nodiscard]] bool aborted() const noexcept { return failed_; }
@@ -241,6 +264,7 @@ class SymbolicGossipValidator {
     finished_ = true;
     stats_.classes = state_.stats();
     if (failed_) return rep_;
+    SHC_TRACE_SCOPE("endgame");
     rep_.complete = state_.all_complete();
     if (!rep_.complete) {
       fail("gossip incomplete after all rounds");
@@ -502,27 +526,35 @@ void emit_gather_broadcast_gossip_symbolic(const SymbolicSchedule& forward,
     if (aborted()) return;
     const SymbolicRound& round = forward.rounds[t];
     sink.begin_round();
-    for (std::size_t gi = 0; gi < round.groups.size(); ++gi) {
-      const CallGroup& g = round.groups[gi];
-      const std::span<const Vertex> patt = round.pattern_of_group(gi);
-      const Vertex back = patt.empty() ? 0 : patt.back();
-      CallGroup r;
-      r.prefix = g.prefix ^ back;
-      r.free_mask = g.free_mask;
-      r.count = g.count;
-      rev.resize(patt.size());
-      for (std::size_t j = 0; j < patt.size(); ++j) {
-        rev[j] = patt[patt.size() - 1 - j] ^ back;
+    {
+      // Covers emission plus the sink's streamed per-group checks; the
+      // sink's own end_round phases land outside this scope.
+      SHC_TRACE_SCOPE("produce_round");
+      for (std::size_t gi = 0; gi < round.groups.size(); ++gi) {
+        const CallGroup& g = round.groups[gi];
+        const std::span<const Vertex> patt = round.pattern_of_group(gi);
+        const Vertex back = patt.empty() ? 0 : patt.back();
+        CallGroup r;
+        r.prefix = g.prefix ^ back;
+        r.free_mask = g.free_mask;
+        r.count = g.count;
+        rev.resize(patt.size());
+        for (std::size_t j = 0; j < patt.size(); ++j) {
+          rev[j] = patt[patt.size() - 1 - j] ^ back;
+        }
+        sink.end_call_group(r, rev);
       }
-      sink.end_call_group(r, rev);
     }
     sink.end_round();
   }
   for (const SymbolicRound& round : forward.rounds) {
     if (aborted()) return;
     sink.begin_round();
-    for (std::size_t gi = 0; gi < round.groups.size(); ++gi) {
-      sink.end_call_group(round.groups[gi], round.pattern_of_group(gi));
+    {
+      SHC_TRACE_SCOPE("produce_round");
+      for (std::size_t gi = 0; gi < round.groups.size(); ++gi) {
+        sink.end_call_group(round.groups[gi], round.pattern_of_group(gi));
+      }
     }
     sink.end_round();
   }

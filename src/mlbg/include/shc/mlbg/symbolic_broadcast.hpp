@@ -37,6 +37,7 @@
 #include "shc/bits/checked.hpp"
 #include "shc/mlbg/broadcast.hpp"
 #include "shc/mlbg/spec.hpp"
+#include "shc/obs/recorder.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/symbolic_schedule.hpp"
 #include "shc/sim/symbolic_validator.hpp"
@@ -108,45 +109,52 @@ SymbolicProducerStats emit_broadcast_rounds_symbolic(
     const Vertex low = t < 0 ? 0 : mask_low(spec.cuts()[static_cast<std::size_t>(t)]);
 
     sink.begin_round();
-    entries.clear();
-    entries.reserve(static_cast<std::size_t>(frontier.num_subcubes()));
-    frontier.for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
-      entries.push_back({p, m, mult});
-    });
-    for (const WeightedSubcube& e : entries) {
-      if (e.mult != 1) {
-        throw std::runtime_error("producer frontier lost disjointness");
-      }
-      const Vertex split = e.mask & low;
-      const Vertex rest = e.mask & ~split;
-      if (weight(split) > 24) {
-        throw std::runtime_error("subcube split blow-up (2^" +
-                                 std::to_string(weight(split)) + " pieces)");
-      }
-      // Enumerate the pinned assignments of the route-relevant free bits.
-      Vertex a = 0;
-      for (;;) {
-        const Vertex u = e.prefix | a;
-        detail::XorPathSink path;
-        path.base = u;
-        route_flip_append(spec, u, i, path);
-
-        CallGroup g;
-        g.prefix = u;
-        g.free_mask = rest;
-        std::uint64_t count = 0;
-        if (!checked_shift_u64(static_cast<unsigned>(weight(rest)), count)) {
-          throw std::runtime_error("group count overflow");
+    {
+      // Covers emission plus the sink's streamed per-group checks (the
+      // sink IS the validator's end_call_group); the validator's own
+      // end_round phases land outside this scope.
+      SHC_TRACE_SCOPE("produce_round");
+      entries.clear();
+      entries.reserve(static_cast<std::size_t>(frontier.num_subcubes()));
+      frontier.for_each([&](Vertex p, Vertex m, std::uint64_t mult) {
+        entries.push_back({p, m, mult});
+      });
+      for (const WeightedSubcube& e : entries) {
+        if (e.mult != 1) {
+          throw std::runtime_error("producer frontier lost disjointness");
         }
-        g.count = count;
-        sink.end_call_group(g, path.span());
-        ++stats.groups_emitted;
-        if (split != 0 && a != 0) ++stats.split_groups;
+        const Vertex split = e.mask & low;
+        const Vertex rest = e.mask & ~split;
+        if (weight(split) > 24) {
+          throw std::runtime_error("subcube split blow-up (2^" +
+                                   std::to_string(weight(split)) + " pieces)");
+        }
+        // Enumerate the pinned assignments of the route-relevant free
+        // bits.
+        Vertex a = 0;
+        for (;;) {
+          const Vertex u = e.prefix | a;
+          detail::XorPathSink path;
+          path.base = u;
+          route_flip_append(spec, u, i, path);
 
-        frontier.insert(u ^ path.span().back(), rest);
+          CallGroup g;
+          g.prefix = u;
+          g.free_mask = rest;
+          std::uint64_t count = 0;
+          if (!checked_shift_u64(static_cast<unsigned>(weight(rest)), count)) {
+            throw std::runtime_error("group count overflow");
+          }
+          g.count = count;
+          sink.end_call_group(g, path.span());
+          ++stats.groups_emitted;
+          if (split != 0 && a != 0) ++stats.split_groups;
 
-        if (a == split) break;
-        a = (a - split) & split;
+          frontier.insert(u ^ path.span().back(), rest);
+
+          if (a == split) break;
+          a = (a - split) & split;
+        }
       }
     }
     sink.end_round();

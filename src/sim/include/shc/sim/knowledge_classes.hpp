@@ -93,6 +93,15 @@ struct KnowledgeClassStats {
   std::uint64_t peak_knowledge_subcubes = 0;
   std::uint64_t unions_computed = 0;
   std::uint64_t union_cache_hits = 0;
+  /// Pairings whose union was genuinely computed this run (the
+  /// translation-keyed cache had no entry) — hits + misses is the total
+  /// pairing lookups.
+  std::uint64_t union_cache_misses = 0;
+  /// Subtrees farmed by canonical_reduce_tree (union canonicalization
+  /// and the single-bucket merge path).  Thread-count dependent by
+  /// design — the serial path farms nothing — so it is never gated for
+  /// thread invariance.
+  std::uint64_t reduce_tree_tasks = 0;
   /// Sum over classes of class-size x knowledge-count — the "who knows
   /// what" pair total the exact validator stores as N^2 bits.  Saturates
   /// at UINT64_MAX with known_pairs_exact cleared (at n = 63 the final

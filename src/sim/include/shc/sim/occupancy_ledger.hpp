@@ -55,6 +55,7 @@
 
 #include "shc/bits/audit.hpp"
 #include "shc/bits/vertex.hpp"
+#include "shc/obs/recorder.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/subcube_batch.hpp"
 #include "shc/sim/worker_pool.hpp"
@@ -135,6 +136,8 @@ class OccupancyLedger {
   [[nodiscard]] OccupancyOutcome check(
       WorkerPool* pool, std::uint64_t budget_per_claim,
       std::uint64_t bucket_budget_base = 4096) const {
+    SHC_TRACE_SCOPE("ledger_check");
+    SHC_TRACE_COUNTER("ledger_claims", claims_);
     // ---- bucket formation (serial, deterministic) --------------------
     struct Bucket {
       int family = 0;

@@ -663,10 +663,13 @@ class WorkerPool;
 /// bit-for-bit identical to the serial form at every thread count.
 /// Inputs at or below the chunk size, or a null / single-worker pool,
 /// fall through to plain canonical_reduce (same output, same refusals,
-/// zero overhead).
+/// zero overhead).  When `tree_tasks` is non-null, the number of
+/// subtrees farmed over the pool is accumulated into it (saturating;
+/// the fall-through paths add nothing) — a thread-count-dependent
+/// effort counter, never part of any verdict.
 [[nodiscard]] std::optional<std::vector<WeightedSubcube>> canonical_reduce_tree(
     std::vector<WeightedSubcube> entries, int n, std::uint64_t budget,
-    WorkerPool* pool);
+    WorkerPool* pool, std::uint64_t* tree_tasks = nullptr);
 
 /// Finds intersecting pairs in a subcube family.  Returns, for each
 /// unordered pair of family members that share at least one vertex, the

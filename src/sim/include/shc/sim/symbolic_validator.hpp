@@ -62,6 +62,7 @@
 
 #include "shc/bits/bitstring.hpp"
 #include "shc/bits/checked.hpp"
+#include "shc/obs/recorder.hpp"
 #include "shc/sim/occupancy_ledger.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/symbolic_schedule.hpp"
@@ -333,6 +334,15 @@ struct SymbolicRunStats {
   std::uint64_t collision_candidates = 0;  ///< pairs that needed exact analysis
   std::uint64_t occupancy_claims = 0;      ///< subcubes consumed by the ledger
   std::uint64_t sampled_calls = 0;         ///< concrete calls replayed serially
+  std::uint64_t rounds_checked = 0;  ///< rounds that passed every per-round clause
+  /// Translation-keyed union cache traffic — gossip-engine counters,
+  /// always 0 for broadcast; kept so sweep/bench rows share one schema.
+  std::uint64_t union_cache_hits = 0;
+  std::uint64_t union_cache_misses = 0;
+  /// Subtrees farmed by canonical_reduce_tree (endgame reduction in
+  /// pair-sweep mode).  Thread-count dependent by design: the serial
+  /// path farms nothing — never gated for thread invariance.
+  std::uint64_t reduce_tree_tasks = 0;
 };
 
 template <SymbolicOracle Net>
@@ -435,16 +445,28 @@ class SymbolicBroadcastValidator {
     stats_.peak_round_groups =
         std::max(stats_.peak_round_groups, static_cast<std::uint64_t>(round_.groups.size()));
 
-    if (!check_caller_tiling(where)) return;
-    if (round_multihop_ && !check_collisions(where)) return;
-    if (sopt_.sample_groups_per_round > 0 && !sampled_replay(where)) return;
+    {
+      SHC_TRACE_SCOPE("caller_tiling");
+      if (!check_caller_tiling(where)) return;
+    }
+    if (round_multihop_) {
+      SHC_TRACE_SCOPE("collision_check");
+      if (!check_collisions(where)) return;
+    }
+    if (sopt_.sample_groups_per_round > 0) {
+      SHC_TRACE_SCOPE("sampled_replay");
+      if (!sampled_replay(where)) return;
+    }
 
-    // Receivers join the informed multiset; any overlap anywhere in the
-    // run surfaces in the endgame canonical form.
-    for (std::size_t gi = 0; gi < round_.groups.size(); ++gi) {
-      const CallGroup& g = round_.groups[gi];
-      const Vertex last = pattern_of(gi).back();
-      frontier_.insert(g.prefix ^ last, g.free_mask);
+    {
+      SHC_TRACE_SCOPE("frontier_insert");
+      // Receivers join the informed multiset; any overlap anywhere in the
+      // run surfaces in the endgame canonical form.
+      for (std::size_t gi = 0; gi < round_.groups.size(); ++gi) {
+        const CallGroup& g = round_.groups[gi];
+        const Vertex last = pattern_of(gi).back();
+        frontier_.insert(g.prefix ^ last, g.free_mask);
+      }
     }
     if (!frontier_.count_ok()) {
       return fail(where + "informed-set count overflowed 64 bits");
@@ -456,6 +478,12 @@ class SymbolicBroadcastValidator {
     }
     stats_.peak_frontier_subcubes =
         std::max(stats_.peak_frontier_subcubes, frontier_.num_subcubes());
+    saturating_acc_u64(stats_.rounds_checked, 1);
+    SHC_TRACE_COUNTER("round_groups", round_.groups.size());
+    SHC_TRACE_COUNTER("groups_total", stats_.groups);
+    SHC_TRACE_COUNTER("frontier_subcubes", frontier_.num_subcubes());
+    SHC_TRACE_COUNTER("occupancy_claims", stats_.occupancy_claims);
+    SHC_TRACE_ROUND(rep_.rounds);
   }
 
   [[nodiscard]] bool aborted() const noexcept { return failed_; }
@@ -470,6 +498,7 @@ class SymbolicBroadcastValidator {
     finished_ = true;
     stats_.final_frontier_subcubes = frontier_.num_subcubes();
     if (failed_) return rep_;
+    SHC_TRACE_SCOPE("endgame");
 
     rep_.informed = frontier_.count_ok() ? frontier_.total_count() : 0;
     if (rep_.informed != order_) {
@@ -513,8 +542,12 @@ class SymbolicBroadcastValidator {
         return rep_;
       }
     } else {
+      // canonical_reduce_tree == canonical_reduce bit-for-bit; with no
+      // pool (threads = 1) it IS the serial reduction.
       const auto canon =
-          canonical_reduce(frontier_.to_entries(), n_, sopt_.reduce_budget);
+          canonical_reduce_tree(frontier_.to_entries(), n_,
+                                sopt_.reduce_budget, pool_.get(),
+                                &stats_.reduce_tree_tasks);
       if (!canon) {
         fail("endgame canonical reduction exceeded its budget (node budget " +
              std::to_string(sopt_.reduce_budget) +

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "shc/bits/audit.hpp"
+#include "shc/obs/recorder.hpp"
 
 namespace shc {
 
@@ -75,6 +76,21 @@ class WorkerPool {
       for (int j = 0; j < jobs; ++j) fn(j);
       return;
     }
+    // Per-generation flight-recorder probe: one "pool_gen" scope (value
+    // = job count) plus the generation's summed per-job busy time, both
+    // recorded from the calling thread (run() is not reentrant, so that
+    // is the engine thread — deterministic event order).  Job latencies
+    // are fully accumulated before run() observes done_ == jobs: each
+    // busy_ns_ add happens before that job's done_ release-increment.
+    obs::TraceRecorder* const rec = obs::TraceRecorder::active();
+    std::uint64_t rec_seq = 0;
+    std::uint64_t rec_t0 = 0;
+    std::uint64_t rec_busy0 = 0;
+    if (rec != nullptr) {
+      rec_seq = rec->next_seq();
+      rec_t0 = obs::trace_now_ns();
+      rec_busy0 = busy_ns_.load(std::memory_order_relaxed);
+    }
     {
       std::unique_lock<std::mutex> lock(m_);
       // Stragglers of the previous generation must have left pull_jobs
@@ -99,6 +115,13 @@ class WorkerPool {
     SHC_AUDIT_CHECK(done_.load(std::memory_order_relaxed) == jobs_,
                     "WorkerPool generation must account every job exactly once");
     task_ = nullptr;
+    if (rec != nullptr) {
+      rec->scope_event("pool_gen", obs::kMainTrack, rec_seq, rec_t0,
+                       obs::trace_now_ns() - rec_t0,
+                       static_cast<std::uint64_t>(jobs));
+      rec->counter("pool_busy_ns",
+                   busy_ns_.load(std::memory_order_relaxed) - rec_busy0);
+    }
     if (error_) {
       std::exception_ptr err = std::exchange(error_, nullptr);
       lock.unlock();
@@ -112,12 +135,18 @@ class WorkerPool {
       const int j = next_.fetch_add(1, std::memory_order_relaxed);
       if (j >= jobs) return;
       if (!failed_.load(std::memory_order_relaxed)) {
+        const bool timed = obs::TraceRecorder::active() != nullptr;
+        const std::uint64_t jt0 = timed ? obs::trace_now_ns() : 0;
         try {
           fn(j);
         } catch (...) {
           failed_.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lock(m_);
           if (!error_) error_ = std::current_exception();
+        }
+        if (timed) {
+          busy_ns_.fetch_add(obs::trace_now_ns() - jt0,
+                             std::memory_order_relaxed);
         }
       }
       if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 >= jobs) {
@@ -166,6 +195,7 @@ class WorkerPool {
   std::atomic<int> next_{0};
   std::atomic<int> done_{0};
   std::atomic<bool> failed_{false};
+  std::atomic<std::uint64_t> busy_ns_{0};  ///< traced job time (recorder on)
 };
 
 }  // namespace shc

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "shc/bits/audit.hpp"
+#include "shc/obs/recorder.hpp"
 #include "shc/sim/subcube_batch.hpp"
 #include "shc/sim/worker_pool.hpp"
 
@@ -269,6 +270,7 @@ std::string KnowledgeClassPartition::apply_round(
   for (const Exchange& x : exchanges) caller_cubes.push_back(x.callers);
   std::vector<OverlapHit> caller_hits;
   {
+    SHC_TRACE_SCOPE("kc_refine");
     PartitionRefiner refine(caller_cubes, class_cubes, opt_.subtract_budget);
     if (!refine.run(whole, caller_hits)) {
       return "knowledge refinement budget exceeded";
@@ -283,6 +285,7 @@ std::string KnowledgeClassPartition::apply_round(
   }
   std::vector<OverlapHit> partner_hits;
   {
+    SHC_TRACE_SCOPE("kc_refine");
     PartitionRefiner refine(partner_cubes, class_cubes, opt_.subtract_budget);
     if (!refine.run(whole, partner_hits)) {
       return "knowledge refinement budget exceeded";
@@ -328,7 +331,7 @@ std::string KnowledgeClassPartition::apply_round(
   auto compute_union = [&](const Triple& t) -> std::pair<UnionResult, std::string> {
     const GossipKnowledgePtr& ka = classes_[t.ca].know;
     const GossipKnowledgePtr& kb = classes_[t.cb].know;
-    ++stats_.unions_computed;
+    saturating_acc_u64(stats_.unions_computed, 1);
     // Fresh offsets: (kb ^ delta) minus what ka already covers.
     std::vector<WeightedSubcube> fresh;
     for (const WeightedSubcube& e : kb->entries) {
@@ -345,7 +348,7 @@ std::string KnowledgeClassPartition::apply_round(
       std::vector<WeightedSubcube> raw = ka->entries;
       raw.insert(raw.end(), fresh.begin(), fresh.end());
       auto canon = canonical_reduce_tree(std::move(raw), n_, opt_.reduce_budget,
-                                         pool_);
+                                         pool_, &stats_.reduce_tree_tasks);
       if (!canon) return {{}, "knowledge union reduction budget exceeded"};
       auto merged = std::make_shared<GossipKnowledge>();
       merged->entries = std::move(*canon);
@@ -377,40 +380,47 @@ std::string KnowledgeClassPartition::apply_round(
   // 3. New classes: one pair per triple, plus the untouched remainders
   //    of every partially-consumed old class.
   std::vector<ClassEntry> next;
-  next.reserve(classes_.size() + 2 * triples.size());
-  std::vector<SubcubeSoA> consumed(classes_.size());
-  for (const Triple& t : triples) {
-    auto [it, fresh] = cache.try_emplace({t.ca, t.cb, t.delta});
-    if (fresh) {
-      auto [result, err] = compute_union(t);
-      if (!err.empty()) return err;
-      it->second = std::move(result);
-    } else {
-      ++stats_.union_cache_hits;
+  {
+    SHC_TRACE_SCOPE("kc_union");
+    next.reserve(classes_.size() + 2 * triples.size());
+    std::vector<SubcubeSoA> consumed(classes_.size());
+    for (const Triple& t : triples) {
+      auto [it, fresh] = cache.try_emplace({t.ca, t.cb, t.delta});
+      if (fresh) {
+        saturating_acc_u64(stats_.union_cache_misses, 1);
+        auto [result, err] = compute_union(t);
+        if (!err.empty()) return err;
+        it->second = std::move(result);
+      } else {
+        saturating_acc_u64(stats_.union_cache_hits, 1);
+      }
+      const Subcube partner{t.piece.prefix ^ t.delta, t.piece.mask};
+      next.push_back({t.piece, it->second.caller_side, /*fresh=*/true});
+      next.push_back({partner, it->second.receiver_side, /*fresh=*/true});
+      consumed[t.ca].push_back(t.piece.prefix, t.piece.mask);
+      consumed[t.cb].push_back(partner.prefix, partner.mask);
     }
-    const Subcube partner{t.piece.prefix ^ t.delta, t.piece.mask};
-    next.push_back({t.piece, it->second.caller_side, /*fresh=*/true});
-    next.push_back({partner, it->second.receiver_side, /*fresh=*/true});
-    consumed[t.ca].push_back(t.piece.prefix, t.piece.mask);
-    consumed[t.cb].push_back(partner.prefix, partner.mask);
-  }
-  for (std::size_t i = 0; i < classes_.size(); ++i) {
-    if (consumed[i].empty()) {
-      next.push_back(classes_[i]);
-      continue;
-    }
-    std::vector<WeightedSubcube> rem;
-    if (!subtract_family(sweep, classes_[i].cube, std::move(consumed[i]),
-                         subtract_budget, rem)) {
-      return "knowledge subtraction budget exceeded";
-    }
-    for (const WeightedSubcube& r : rem) {
-      next.push_back({Subcube{r.prefix, r.mask}, classes_[i].know, /*fresh=*/true});
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      if (consumed[i].empty()) {
+        next.push_back(classes_[i]);
+        continue;
+      }
+      std::vector<WeightedSubcube> rem;
+      if (!subtract_family(sweep, classes_[i].cube, std::move(consumed[i]),
+                           subtract_budget, rem)) {
+        return "knowledge subtraction budget exceeded";
+      }
+      for (const WeightedSubcube& r : rem) {
+        next.push_back({Subcube{r.prefix, r.mask}, classes_[i].know, /*fresh=*/true});
+      }
     }
   }
 
   // 4. Coalesce classes whose knowledge came out identical.
-  if (std::string err = merge_equal_classes(next); !err.empty()) return err;
+  {
+    SHC_TRACE_SCOPE("kc_merge");
+    if (std::string err = merge_equal_classes(next); !err.empty()) return err;
+  }
   classes_ = std::move(next);
 
   // 5. Caps and the self-check: the classes must still tile Q_n exactly
@@ -537,9 +547,13 @@ std::string KnowledgeClassPartition::merge_equal_classes(
   }
   const auto reduce_task = [&](int j) {
     MergeTask& t = tasks[pending[static_cast<std::size_t>(j)]];
-    t.reduced = canonical_reduce_tree(std::move(t.cubes), n_,
-                                      opt_.reduce_budget,
-                                      pending.size() > 1 ? nullptr : pool_);
+    // Farmed tasks run on worker threads with the tree path disabled
+    // (no reentrancy), so they also skip the shared task counter; the
+    // single-task path runs on the engine thread and may count.
+    const bool farmed = pending.size() > 1;
+    t.reduced = canonical_reduce_tree(
+        std::move(t.cubes), n_, opt_.reduce_budget, farmed ? nullptr : pool_,
+        farmed ? nullptr : &stats_.reduce_tree_tasks);
   };
   if (pool_ != nullptr && pool_->workers() > 1 && pending.size() > 1) {
     pool_->run(static_cast<int>(pending.size()), reduce_task);

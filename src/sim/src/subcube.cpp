@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "shc/bits/checked.hpp"
+#include "shc/obs/recorder.hpp"
 #include "shc/sim/worker_pool.hpp"
 
 namespace shc {
@@ -287,12 +289,13 @@ std::optional<std::vector<WeightedSubcube>> canonical_reduce(
 
 std::optional<std::vector<WeightedSubcube>> canonical_reduce_tree(
     std::vector<WeightedSubcube> entries, int n, std::uint64_t budget,
-    WorkerPool* pool) {
+    WorkerPool* pool, std::uint64_t* tree_tasks) {
   assert(n >= 1 && n <= kMaxCubeDim);
   if (pool == nullptr || pool->workers() <= 1 ||
       entries.size() <= kTreeChunk) {
     return canonical_reduce(std::move(entries), n, budget);
   }
+  SHC_TRACE_SCOPE("reduce_tree");
 
   SubcubeBatch root;
   root.reserve(entries.size());
@@ -364,6 +367,7 @@ std::optional<std::vector<WeightedSubcube>> canonical_reduce_tree(
   // parallelism never changes which inputs are refused — a task can
   // merely overshoot by up to one subtree of work before the sum check
   // catches it.
+  if (tree_tasks != nullptr) saturating_acc_u64(*tree_tasks, tasks.size());
   const std::uint64_t task_budget = budget;
   const auto run_task = [&](int j) {
     TreeTask& t = tasks[static_cast<std::size_t>(j)];

@@ -25,12 +25,19 @@ conventions that are easy to break silently in review.  This lint walks
                     engine.
   layering          `#include "shc/<module>/..."` edges must follow the
                     README module map (e.g. sim never includes mlbg or
-                    gossip headers).
+                    gossip headers; bits/ never includes the obs flight
+                    recorder).
   kernel-layer      The batched SoA kernel header (sim/subcube_batch.hpp)
                     sits below the rest of sim/: it may include only
                     shc/bits/ headers, so every consumer (frontier,
                     ledger, partition refiner) can build on it without
                     cycles and the scalar-fallback build stays minimal.
+  timestamp         Clock reads (std::chrono steady_/system_/
+                    high_resolution_clock) live only inside src/obs/ —
+                    the flight recorder's contract is that timestamps
+                    are measurements confined to trace files; a clock
+                    anywhere else in src/ is a nondeterminism hazard for
+                    verdicts and reports.
 
 Suppression: append `// shc-lint: allow(<rule>)` on the offending line
 or the line directly above it, with a comment explaining why.  Extending
@@ -63,6 +70,11 @@ CHECKED_COUNTERS = (
     "informed_count",
     "occupancy_claims",
     "collision_candidates",
+    "rounds_checked",
+    "unions_computed",
+    "union_cache_hits",
+    "union_cache_misses",
+    "reduce_tree_tasks",
 )
 CHECKED_COUNTER_DIRS = ("src/sim", "src/gossip", "src/mlbg")
 
@@ -86,14 +98,20 @@ KERNEL_LAYER_FILES = {
 # one deliberate exception (it includes everything).
 LAYERING = {
     "bits": {"bits"},
+    "obs": {"bits", "obs"},  # flight recorder: bits-only below, no engine deps
     "coding": {"bits", "coding"},
     "graph": {"bits", "graph"},
     "labeling": {"bits", "coding", "labeling"},
-    "sim": {"bits", "graph", "sim"},
-    "mlbg": {"bits", "graph", "labeling", "sim", "mlbg"},
-    "gossip": {"bits", "sim", "mlbg", "gossip"},
+    "sim": {"bits", "graph", "obs", "sim"},
+    "mlbg": {"bits", "graph", "labeling", "obs", "sim", "mlbg"},
+    "gossip": {"bits", "obs", "sim", "mlbg", "gossip"},
     "baseline": {"bits", "graph", "sim", "baseline"},
 }
+
+# Clock reads are the flight recorder's private concern: trace
+# timestamps are measurements, never inputs to a verdict, so the only
+# src/ directory allowed to touch std::chrono clocks is src/obs/.
+TIMESTAMP_ALLOWED_DIRS = ("src/obs",)
 
 SUPPRESS_RE = re.compile(r"//\s*shc-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -107,6 +125,9 @@ NONDET_RES = (
     (re.compile(r"(?<![\w:.])s?rand\s*\("), "rand()/srand()"),
     (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
     (re.compile(r"\brandom_device\b"), "std::random_device"),
+)
+TIMESTAMP_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"
 )
 INCLUDE_RE = re.compile(r'#\s*include\s*"shc/([a-z]+)/')
 
@@ -223,6 +244,14 @@ def lint_file(path: pathlib.Path, rel: str, out: Findings) -> None:
                     path, lineno, "nondeterminism",
                     f"{what} in src/ — reports must be reproducible; take a "
                     "caller-seeded std::mt19937_64 instead",
+                )
+        if not rel.startswith(TIMESTAMP_ALLOWED_DIRS):
+            if TIMESTAMP_RE.search(line) and not ok(lineno, "timestamp"):
+                out.add(
+                    path, lineno, "timestamp",
+                    "clock read outside src/obs/ — timestamps belong to the "
+                    "flight recorder only (obs::trace_now_ns); verdicts and "
+                    "reports must never depend on time",
                 )
         if layer is not None:
             # Include paths are string literals, so match the raw line.

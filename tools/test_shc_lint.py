@@ -199,6 +199,99 @@ class LayeringRule(LintHarness):
         )
 
 
+class TimestampRule(LintHarness):
+    def test_steady_clock_outside_obs_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.hpp": "auto t = std::chrono::steady_clock::now();\n"},
+            "timestamp",
+        )
+
+    def test_high_resolution_clock_flagged(self) -> None:
+        self.assert_finding(
+            {
+                "src/bits/a.cpp":
+                    "using clk = std::chrono::high_resolution_clock;\n"
+            },
+            "timestamp",
+        )
+
+    def test_obs_itself_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/obs/src/recorder.cpp":
+                    "auto t = std::chrono::steady_clock::now();\n"
+            }
+        )
+
+    def test_comment_mention_clean(self) -> None:
+        self.assert_clean(
+            {"src/sim/a.hpp": "// steady_clock lives only in src/obs/\n"}
+        )
+
+    def test_suppression_honored(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp":
+                    "// shc-lint: allow(timestamp) — test fixture\n"
+                    "auto t = std::chrono::steady_clock::now();\n"
+            }
+        )
+
+
+class ObsLayering(LintHarness):
+    def test_bits_including_obs_flagged(self) -> None:
+        self.assert_finding(
+            {"src/bits/a.hpp": '#include "shc/obs/recorder.hpp"\n'}, "layering"
+        )
+
+    def test_obs_including_sim_flagged(self) -> None:
+        self.assert_finding(
+            {"src/obs/a.hpp": '#include "shc/sim/subcube.hpp"\n'}, "layering"
+        )
+
+    def test_kernel_including_obs_flagged(self) -> None:
+        self.assert_finding(
+            {
+                "src/sim/include/shc/sim/subcube_batch.hpp":
+                    '#include "shc/obs/recorder.hpp"\n'
+            },
+            "kernel-layer",
+        )
+
+    def test_engines_including_obs_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp": '#include "shc/obs/recorder.hpp"\n',
+                "src/mlbg/b.hpp": '#include "shc/obs/recorder.hpp"\n',
+                "src/gossip/c.hpp": '#include "shc/obs/recorder.hpp"\n',
+                "src/obs/d.hpp": '#include "shc/bits/vertex.hpp"\n',
+            }
+        )
+
+
+class NewCheckedCounters(LintHarness):
+    def test_rounds_checked_raw_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.hpp": "void f() { stats_.rounds_checked++; }\n"},
+            "checked-counter",
+        )
+
+    def test_union_cache_raw_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.cpp": "void f() { stats_.union_cache_misses += 1; }\n"},
+            "checked-counter",
+        )
+
+    def test_saturating_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.cpp":
+                    "void f() { saturating_acc_u64(stats_.reduce_tree_tasks, "
+                    "n); }\n"
+            }
+        )
+
+
 class KernelLayerRule(LintHarness):
     KERNEL = "src/sim/include/shc/sim/subcube_batch.hpp"
 
