@@ -13,13 +13,18 @@
 //       devirtualization baseline.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <new>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "shc/obs/recorder.hpp"
 #include "shc/shc.hpp"
@@ -388,6 +393,153 @@ BENCHMARK(BM_SymbolicCertifyThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+// ---- certification service rows -----------------------------------------
+
+/// The saturating-throughput row of the ServeEngine: a serial warm-up
+/// populates the certificate cache (one cold run per distinct key),
+/// then `clients` concurrent client threads replay the key mix and
+/// every response must come out of the cache.  Counter-gated exactly
+/// (queries / ok / cache_hits / distinct_keys — cache accounting drift
+/// fails the recording); wall time and the p95 counter are ungated,
+/// and `qps` is the measured saturated service rate ROADMAP cites.
+void BM_ServeThroughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kPerClient = 32;
+  const std::vector<std::string> keys = {
+      "{\"workload\":\"broadcast-streaming\",\"n\":10,\"k\":2}",
+      "{\"workload\":\"broadcast-streaming\",\"n\":12,\"k\":3}",
+      "{\"workload\":\"broadcast-symbolic\",\"n\":12,\"k\":2}",
+      "{\"workload\":\"broadcast-symbolic\",\"n\":14,\"k\":2}",
+      "{\"workload\":\"gossip-symbolic\",\"n\":10,\"k\":2}",
+      "{\"workload\":\"gossip-symbolic\",\"n\":12,\"k\":2}",
+      "{\"workload\":\"exchange-gossip\",\"n\":10}",
+      "{\"workload\":\"exchange-gossip\",\"n\":12}",
+  };
+  ServeEngine engine{ServeOptions{}};
+  for (const std::string& q : keys) {
+    if (engine.handle_line(q).find("\"ok\":true") == std::string::npos) {
+      std::cout << "FAIL: serve warm-up query did not certify: " << q << "\n";
+      std::exit(1);
+    }
+  }
+  std::vector<double> p95_ms(1, 0.0);
+  for (auto _ : state) {
+    std::vector<std::vector<std::uint64_t>> lat_ns(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (int q = 0; q < kPerClient; ++q) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::string row =
+              engine.handle_line(keys[static_cast<std::size_t>(q) % keys.size()]);
+          const auto t1 = std::chrono::steady_clock::now();
+          lat_ns[static_cast<std::size_t>(c)].push_back(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()));
+          if (row.find("\"cache_hit\":true") == std::string::npos) {
+            std::cout << "FAIL: saturated serve query missed the cache: " << row
+                      << "\n";
+            std::exit(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    std::vector<std::uint64_t> all;
+    for (const auto& v : lat_ns) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    p95_ms[0] =
+        static_cast<double>(all[all.size() - 1 - all.size() / 20]) / 1e6;
+  }
+  const ServeStats stats = engine.stats();
+  const std::uint64_t served =
+      static_cast<std::uint64_t>(clients) * kPerClient;
+  if (stats.ok != stats.queries || stats.errors != 0 || stats.refused != 0 ||
+      stats.cache_hits != served || stats.cache_misses != keys.size()) {
+    std::cout << "FAIL: serve stats drifted: queries=" << stats.queries
+              << " ok=" << stats.ok << " hits=" << stats.cache_hits
+              << " misses=" << stats.cache_misses << " errors=" << stats.errors
+              << "\n";
+    std::exit(1);
+  }
+  state.counters["queries"] = static_cast<double>(stats.queries);
+  state.counters["ok"] = static_cast<double>(stats.ok);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["distinct_keys"] = static_cast<double>(keys.size());
+  state.counters["p95_ms"] = p95_ms[0];
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(served),
+                                             benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_ServeThroughput)->Arg(64)->Iterations(1)->Unit(benchmark::kSecond);
+
+/// The mixed-load row: one designed-47 certification (the same spec as
+/// BM_SymbolicCertifyThreads — over the default heavy-admission
+/// threshold, so it occupies the single heavy slot) runs to completion
+/// while 64 client threads stream small queries.  The gate enforces
+/// that the heavy query certifies, every small query certifies, and
+/// nothing is refused — the service stays responsive under a heavy
+/// tenant instead of queueing behind it.
+void BM_ServeThroughputMixed(benchmark::State& state) {
+  const int n_heavy = static_cast<int>(state.range(0));
+  constexpr int kClients = 64;
+  constexpr int kPerClient = 16;
+  const std::string heavy_req =
+      "{\"workload\":\"broadcast-symbolic\",\"n\":" + std::to_string(n_heavy) +
+      ",\"cuts\":[" + std::to_string(theorem5_core(n_heavy)) + "]}";
+  const std::vector<std::string> small = {
+      "{\"workload\":\"broadcast-streaming\",\"n\":10,\"k\":2}",
+      "{\"workload\":\"broadcast-symbolic\",\"n\":12,\"k\":2}",
+      "{\"workload\":\"gossip-symbolic\",\"n\":10,\"k\":2}",
+      "{\"workload\":\"exchange-gossip\",\"n\":10}",
+  };
+  for (auto _ : state) {
+    ServeEngine engine{ServeOptions{}};
+    std::string heavy_row;
+    std::atomic<std::uint64_t> small_bad{0};
+    std::thread heavy(
+        [&] { heavy_row = engine.handle_line(heavy_req); });
+    std::vector<std::thread> pool;
+    pool.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      pool.emplace_back([&] {
+        for (int q = 0; q < kPerClient; ++q) {
+          const std::string row =
+              engine.handle_line(small[static_cast<std::size_t>(q) % small.size()]);
+          if (row.find("\"ok\":true") == std::string::npos) ++small_bad;
+        }
+      });
+    }
+    heavy.join();
+    for (std::thread& t : pool) t.join();
+    const ServeStats stats = engine.stats();
+    if (heavy_row.find("\"ok\":true") == std::string::npos) {
+      std::cout << "FAIL: heavy designed-" << n_heavy
+                << " query did not certify under mixed load: " << heavy_row
+                << "\n";
+      std::exit(1);
+    }
+    if (small_bad.load() != 0 || stats.refused != 0 || stats.errors != 0) {
+      std::cout << "FAIL: mixed-load small queries degraded: bad="
+                << small_bad.load() << " refused=" << stats.refused
+                << " errors=" << stats.errors << "\n";
+      std::exit(1);
+    }
+    state.counters["small_queries"] =
+        static_cast<double>(kClients) * kPerClient;
+    state.counters["heavy_ok"] = 1.0;
+    state.counters["refused"] = static_cast<double>(stats.refused);
+  }
+}
+BENCHMARK(BM_ServeThroughputMixed)
+    ->Arg(47)
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
 

@@ -3,9 +3,9 @@
 //   ./quickstart [n] [k]     (defaults n = 10, k = 3)
 //
 // Walks the whole public API surface in ~60 lines: design parameters,
-// construct the graph, inspect degrees against the paper's bounds,
-// generate the Broadcast_k schedule, and validate it mechanically under
-// the k-line model.
+// construct the graph, inspect degrees against the paper's bounds, then
+// certify the Broadcast_k scheme through the facade — one CertifyRequest
+// in, one CertifyResult (validation report + congestion profile) out.
 #include <cstdlib>
 #include <iostream>
 
@@ -37,25 +37,33 @@ int main(int argc, char** argv) {
   std::cout << "  edges " << spec.num_edges() << "  (Q_" << n << " has "
             << (static_cast<std::uint64_t>(n) << (n - 1)) << ")\n";
 
-  // 3. Broadcast from a vertex (one flat arena, zero per-call heap
-  // allocations) and validate under the k-line model through the
-  // implicit non-virtual SpecView oracle.
-  const Vertex source = 1;
-  const FlatSchedule schedule = make_broadcast_schedule(spec, source);
-  const SpecView view(spec);
-  const ValidationReport report = validate_minimum_time_k_line(view, schedule, k);
-  std::cout << "broadcast from " << to_bitstring(source, n) << ": "
+  // 3. Certify Broadcast_k from a vertex through the facade: the
+  // streaming engine validates every call under the k-line model (the
+  // report is bit-for-bit the serial validator's), and with_congestion
+  // attaches the Section-5 edge-load profile.
+  CertifyRequest req;
+  req.workload = Workload::kBroadcastStreaming;
+  req.n = n;
+  req.cuts = spec.cuts();  // reuse the design from step 1
+  req.source = 1;
+  req.with_congestion = true;
+  const CertifyResult res = certify(req);
+
+  const ValidationReport& report = res.report;
+  std::cout << "broadcast from " << to_bitstring(req.source, n) << ": "
             << report.rounds << " rounds, " << report.total_calls
             << " calls, max call length " << report.max_call_length << "\n";
   std::cout << "  validated: " << (report.ok ? "ok" : report.error)
             << "; minimum-time: " << (report.minimum_time ? "yes" : "no") << "\n";
 
   // 4. Congestion profile (Section 5 of the paper).
-  const CongestionStats stats = analyze_congestion(schedule);
-  std::cout << "  congestion: " << stats.total_edge_hops << " hops over "
-            << stats.distinct_edges_used << " edges, max per-edge load "
-            << stats.max_edge_load_total << " (per-round "
-            << stats.max_edge_load_per_round << ")\n";
+  if (res.has_congestion) {
+    const CongestionStats& stats = res.congestion;
+    std::cout << "  congestion: " << stats.total_edge_hops << " hops over "
+              << stats.distinct_edges_used << " edges, max per-edge load "
+              << stats.max_edge_load_total << " (per-round "
+              << stats.max_edge_load_per_round << ")\n";
+  }
 
   return report.ok && report.minimum_time ? 0 : 2;
 }

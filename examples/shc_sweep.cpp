@@ -1,11 +1,13 @@
 // shc_sweep — grid sweep of streaming-certified broadcast scenarios.
 //
 // Runs a grid of (n, k/cuts, model-variant) scenarios through the
-// streaming validation pipeline (emit_broadcast_rounds producing into a
-// StreamingBroadcastValidator — no schedule is ever materialized), plus
-// parallel congestion analysis for the materializable sizes, and emits
-// one JSON record per scenario.  Scenarios run in parallel across a
-// worker pool; output order is deterministic (grid order).
+// certification facade (shc/api/certify.hpp): each scenario is one
+// CertifyRequest dispatched to the streaming / symbolic / gossip
+// engine, with congestion analysis attached for the materializable
+// sizes, and one JSON record per scenario via to_json_row — the facade
+// owns the row schema now; this tool only builds requests.  Scenarios
+// run in parallel across a worker pool; output order is deterministic
+// (grid order).
 //
 // Usage:
 //   shc_sweep [--threads T] [--out PATH] [--max-n N] [--big N] [--symbolic N]
@@ -28,13 +30,11 @@
 //                 scenarios do not interleave.
 #include <atomic>
 #include <charconv>
-#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,143 +66,30 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// One symbolic-engine row: same JSON shape plus the group-compression
-/// stats that are the whole point of the subcube representation.  The
-/// spec policy is shared with the BM_SymbolicCertify bench rows
-/// (symbolic_showcase_spec), so both recorded artifacts measure the
-/// same graphs.
-std::string run_symbolic_scenario(const Scenario& sc) {
-  const auto spec = symbolic_showcase_spec(sc.n, sc.k);
-  ValidationOptions opt;
-  opt.k = spec.k();
-  opt.require_vertex_disjoint = sc.vertex_disjoint;
-
-  const auto start = std::chrono::steady_clock::now();
-  const SymbolicCertification cert = certify_broadcast_symbolic(spec, 0, opt);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  std::ostringstream os;
-  os << "{\"engine\":\"symbolic\",\"n\":" << sc.n << ",\"k\":" << spec.k()
-     << ",\"cuts\":[";
-  for (std::size_t i = 0; i < spec.cuts().size(); ++i) {
-    os << (i ? "," : "") << spec.cuts()[i];
+/// Builds the scenario's facade request.  Symbolic/gossip scenarios
+/// pin the spec policy shared with the BM_SymbolicCertify bench rows
+/// (symbolic_showcase_spec) by passing its cut vector explicitly, so
+/// both recorded artifacts keep measuring the same graphs; streaming
+/// scenarios let the facade run design_sparse_hypercube(n, k).
+CertifyRequest scenario_request(const Scenario& sc) {
+  CertifyRequest req;
+  req.n = sc.n;
+  req.k = sc.k;
+  req.vertex_disjoint = sc.vertex_disjoint;
+  req.checks.threads = sc.inner_threads;
+  if (sc.gossip || sc.symbolic) {
+    req.workload =
+        sc.gossip ? Workload::kGossipSymbolic : Workload::kBroadcastSymbolic;
+    req.cuts = symbolic_showcase_spec(sc.n, sc.k).cuts();
+  } else {
+    req.workload = Workload::kBroadcastStreaming;
+    req.with_congestion = sc.analyze_congestion_stats;
   }
-  os << "],\"ok\":" << (cert.report.ok ? "true" : "false")
-     << ",\"minimum_time\":" << (cert.report.minimum_time ? "true" : "false")
-     << ",\"rounds\":" << cert.report.rounds
-     << ",\"calls\":" << cert.report.total_calls
-     << ",\"max_call_length\":" << cert.report.max_call_length
-     << ",\"groups\":" << cert.checks.groups
-     << ",\"peak_frontier_subcubes\":" << cert.checks.peak_frontier_subcubes
-     << ",\"peak_round_groups\":" << cert.checks.peak_round_groups
-     << ",\"collision_candidates\":" << cert.checks.collision_candidates
-     << ",\"occupancy_claims\":" << cert.checks.occupancy_claims
-     << ",\"sampled_calls\":" << cert.checks.sampled_calls
-     << ",\"rounds_checked\":" << cert.checks.rounds_checked
-     << ",\"union_cache_hits\":" << cert.checks.union_cache_hits
-     << ",\"union_cache_misses\":" << cert.checks.union_cache_misses
-     << ",\"reduce_tree_tasks\":" << cert.checks.reduce_tree_tasks
-     << ",\"seconds\":" << seconds;
-  if (!cert.report.ok) {
-    os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
-  }
-  os << '}';
-  return os.str();
-}
-
-/// One symbolic-gossip row: gather-broadcast all-to-all exchange on the
-/// shared showcase spec, certified entirely on the class/knowledge
-/// algebra.  The row records the knowledge-partition sizes — the
-/// compressed stand-in for the exact validator's N^2 bits.
-std::string run_gossip_scenario(const Scenario& sc) {
-  const auto spec = symbolic_showcase_spec(sc.n, sc.k);
-
-  const auto start = std::chrono::steady_clock::now();
-  const SymbolicGossipCertification cert = certify_gossip_symbolic(spec, 0);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  std::ostringstream os;
-  os << "{\"engine\":\"symbolic-gossip\",\"n\":" << sc.n << ",\"k\":" << spec.k()
-     << ",\"cuts\":[";
-  for (std::size_t i = 0; i < spec.cuts().size(); ++i) {
-    os << (i ? "," : "") << spec.cuts()[i];
-  }
-  os << "],\"ok\":" << (cert.report.ok ? "true" : "false")
-     << ",\"complete\":" << (cert.report.complete ? "true" : "false")
-     << ",\"rounds\":" << cert.report.rounds
-     << ",\"exchanges\":" << cert.report.total_exchanges
-     << ",\"max_call_length\":" << cert.report.max_call_length
-     << ",\"groups\":" << cert.checks.groups
-     << ",\"peak_classes\":" << cert.checks.classes.peak_classes
-     << ",\"peak_knowledge_subcubes\":"
-     << cert.checks.classes.peak_knowledge_subcubes
-     << ",\"unions\":" << cert.checks.classes.unions_computed
-     << ",\"collision_candidates\":" << cert.checks.collision_candidates
-     << ",\"occupancy_claims\":" << cert.checks.occupancy_claims
-     << ",\"sampled_calls\":" << cert.checks.sampled_calls
-     << ",\"rounds_checked\":" << cert.checks.rounds_checked
-     << ",\"union_cache_hits\":" << cert.checks.classes.union_cache_hits
-     << ",\"union_cache_misses\":" << cert.checks.classes.union_cache_misses
-     << ",\"reduce_tree_tasks\":" << cert.checks.classes.reduce_tree_tasks
-     << ",\"seconds\":" << seconds;
-  if (!cert.report.ok) {
-    os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
-  }
-  os << '}';
-  return os.str();
+  return req;
 }
 
 std::string run_scenario(const Scenario& sc) {
-  if (sc.gossip) return run_gossip_scenario(sc);
-  if (sc.symbolic) return run_symbolic_scenario(sc);
-  const auto spec = design_sparse_hypercube(sc.n, sc.k);
-  ValidationOptions opt;
-  opt.k = spec.k();
-  opt.require_vertex_disjoint = sc.vertex_disjoint;
-
-  const auto start = std::chrono::steady_clock::now();
-  const StreamingCertification cert =
-      certify_broadcast_streaming(spec, 0, opt, sc.inner_threads);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  std::ostringstream os;
-  os << "{\"n\":" << sc.n << ",\"k\":" << spec.k() << ",\"cuts\":[";
-  for (std::size_t i = 0; i < spec.cuts().size(); ++i) {
-    os << (i ? "," : "") << spec.cuts()[i];
-  }
-  os << "],\"model\":\""
-     << (sc.vertex_disjoint ? "vertex-disjoint" : "edge-disjoint") << '"'
-     << ",\"ok\":" << (cert.report.ok ? "true" : "false")
-     << ",\"minimum_time\":" << (cert.report.minimum_time ? "true" : "false")
-     << ",\"rounds\":" << cert.report.rounds
-     << ",\"calls\":" << cert.calls
-     << ",\"max_call_length\":" << cert.report.max_call_length
-     << ",\"peak_round_arena_bytes\":" << cert.peak_round_arena_bytes
-     << ",\"largest_round_arena_bytes\":" << cert.largest_round_arena_bytes
-     << ",\"whole_schedule_arena_bytes\":" << cert.whole_schedule_arena_bytes
-     << ",\"seconds\":" << seconds;
-  if (!cert.report.ok) {
-    os << ",\"error\":\"" << json_escape(cert.report.error) << '"';
-  }
-
-  if (sc.analyze_congestion_stats) {
-    const auto schedule = make_broadcast_schedule(spec, 0);
-    const CongestionStats stats =
-        analyze_congestion_parallel(schedule, sc.inner_threads);
-    os << ",\"distinct_edges_used\":" << stats.distinct_edges_used
-       << ",\"total_edge_hops\":" << stats.total_edge_hops
-       << ",\"max_edge_load_total\":" << stats.max_edge_load_total
-       << ",\"required_edge_capacity\":" << stats.max_edge_load_per_round
-       << ",\"mean_edge_load\":" << stats.mean_edge_load;
-  }
-  os << '}';
-  return os.str();
+  return to_json_row(certify(scenario_request(sc)));
 }
 
 /// Strict parse: the whole argument must be a number, or we exit with

@@ -68,40 +68,15 @@
 namespace shc {
 
 /// Knobs of the symbolic gossip checks (safe defaults; caps fail
-/// explicitly instead of thrashing on adversarial input).
-struct SymbolicGossipOptions {
-  /// Groups sampled per round for concrete structural replay through
-  /// the exact round kernel (0 disables sampling).
-  std::uint64_t sample_groups_per_round = 4;
-  /// Concrete exchanges expanded per sampled group.
-  std::uint64_t sample_calls_per_group = 4;
-  std::uint64_t sample_seed = 0x5eedULL;
-
-  /// How per-round endpoint and edge disjointness is proved: the dyadic
-  /// occupancy ledger (default, O(total pieces * n)) or the original
-  /// candidate-pair sweep, kept for parity testing — both produce
-  /// bit-for-bit identical reports (enforced by tests).
-  CollisionMode collision_mode = CollisionMode::kLedger;
-  /// Dyadic-walk budget per ledger claim: each bucket's budget is
-  /// ledger_bucket_budget_base + ledger_budget_per_claim * bucket
-  /// claims (deterministic for any thread count).
-  std::uint64_t ledger_budget_per_claim = 512;
-  std::uint64_t ledger_bucket_budget_base = 4096;
-
-  /// Node budget of the per-round endpoint/volume disjointness sweeps
-  /// (kPairSweep mode only).
-  std::uint64_t collision_budget = std::uint64_t{1} << 28;
-  /// Cap on collision candidate pairs per round (kPairSweep mode only).
-  std::size_t max_collision_pairs = std::size_t{1} << 16;
-
+/// explicitly instead of thrashing on adversarial input).  The
+/// sampling, collision, and threading knobs shared with the broadcast
+/// engine live in the CommonCheckOptions base (check_options.hpp) —
+/// the inherited spellings (`sopt.threads`, `sopt.collision_mode`,
+/// ...) are the documented aliases and keep compiling unchanged; only
+/// the gossip-specific knobs are declared here.
+struct SymbolicGossipOptions : CommonCheckOptions {
   /// Budgets and caps of the knowledge-class partition.
   KnowledgeClassOptions classes;
-
-  /// Workers for the per-round edge-collision candidate analysis
-  /// (sharded over a persistent WorkerPool; the endpoint sweep and the
-  /// knowledge-class machinery stay serial).  1 (the default) runs
-  /// fully inline; the verdict is thread-count independent.
-  int threads = 1;
 };
 
 /// Group/knowledge statistics of one symbolic gossip run.  The union
@@ -141,11 +116,16 @@ class SymbolicGossipValidator {
       fail("symbolic gossip validator requires k >= 1");
       return;
     }
-    if (sopt.threads > 1) pool_ = std::make_unique<WorkerPool>(sopt.threads);
+    if (sopt.pool) {
+      pool_ = sopt.pool;
+    } else if (sopt.threads > 1) {
+      owned_pool_ = std::make_unique<WorkerPool>(sopt.threads);
+      pool_ = owned_pool_.get();
+    }
     // The knowledge partition farms its heavy reductions (union
     // canonicalization, class re-coalesce merge trees) over the same
     // pool; reports are bit-for-bit identical at every thread count.
-    state_.set_pool(pool_.get());
+    state_.set_pool(pool_);
   }
 
   // ---- SymbolicRoundSink interface ------------------------------------
@@ -313,7 +293,7 @@ class SymbolicGossipValidator {
       }
       saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
       const OccupancyOutcome out =
-          occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
+          occupancy_.check(pool_, sopt_.ledger_budget_per_claim,
                            sopt_.ledger_bucket_budget_base);
       if (out.status == OccupancyStatus::kBudgetExceeded) {
         fail(where + "endpoint disjointness analysis exceeded its budget "
@@ -354,7 +334,7 @@ class SymbolicGossipValidator {
       detail::claim_round_edge_subcubes(round_, occupancy_);
       saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
       const OccupancyOutcome out =
-          occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
+          occupancy_.check(pool_, sopt_.ledger_budget_per_claim,
                            sopt_.ledger_bucket_budget_base);
       if (out.status == OccupancyStatus::kBudgetExceeded) {
         fail(where + "collision analysis exceeded its budget (ledger bucket "
@@ -380,7 +360,7 @@ class SymbolicGossipValidator {
     }
     saturating_acc_u64(stats_.collision_candidates, pairs->size());
     const auto failure = detail::first_failure(
-        pool_.get(), pairs->size(), [&](std::size_t i) {
+        pool_, pairs->size(), [&](std::size_t i) {
           const auto& [a, b] = (*pairs)[i];
           return detail::symbolic_pair_collision_msg(
               round_.groups[a], pattern_of(a), round_.groups[b], pattern_of(b),
@@ -445,7 +425,10 @@ class SymbolicGossipValidator {
   std::uint64_t order_;
   KnowledgeClassPartition state_;
   std::mt19937_64 rng_;
-  std::unique_ptr<WorkerPool> pool_;  ///< non-null iff sopt.threads > 1
+  /// Check-sharding pool: sopt.pool when the caller lends one (server
+  /// reuse across queries), else owned_pool_ iff sopt.threads > 1.
+  WorkerPool* pool_ = nullptr;
+  std::unique_ptr<WorkerPool> owned_pool_;
 
   // Round-local group storage: one recycled SymbolicRound (patterns
   // pooled in its 32-bit-offset layout; no deduplication needed here).

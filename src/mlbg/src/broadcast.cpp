@@ -1,6 +1,7 @@
 #include "shc/mlbg/broadcast.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "shc/sim/streaming_validator.hpp"
 
@@ -81,6 +82,16 @@ StreamingCertification certify_broadcast_streaming(const SparseHypercubeSpec& sp
                                                    Vertex source,
                                                    const ValidationOptions& opt,
                                                    int threads) {
+  // Every certify_* entry point rejects a non-positive worker count the
+  // same way (a 0 here used to mean "hardware concurrency" in this
+  // engine but "serial" in the symbolic ones — an inconsistency callers
+  // tripped over).  The validators' internal threads<=1 paths still run
+  // inline; only the public entry is strict.
+  if (threads <= 0) {
+    throw std::invalid_argument(
+        "certify_broadcast_streaming: threads must be >= 1 (got " +
+        std::to_string(threads) + ")");
+  }
   const int n = spec.n();
 
   StreamingCertification cert;

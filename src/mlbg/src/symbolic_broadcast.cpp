@@ -1,5 +1,7 @@
 #include "shc/mlbg/symbolic_broadcast.hpp"
 
+#include <stdexcept>
+
 #include "shc/mlbg/params.hpp"
 
 namespace shc {
@@ -20,6 +22,11 @@ SymbolicCertification certify_broadcast_symbolic(const SparseHypercubeSpec& spec
                                                  Vertex source,
                                                  const ValidationOptions& opt,
                                                  const SymbolicCheckOptions& sopt) {
+  if (sopt.threads <= 0) {
+    throw std::invalid_argument(
+        "certify_broadcast_symbolic: threads must be >= 1 (got " +
+        std::to_string(sopt.threads) + ")");
+  }
   SymbolicCertification cert;
   if (source >= spec.num_vertices()) {
     // Same report the other validators give; guarded here so the

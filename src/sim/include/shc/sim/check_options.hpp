@@ -1,0 +1,81 @@
+#pragma once
+// Shared knobs of the symbolic certification engines.
+//
+// The broadcast validator (SymbolicCheckOptions) and the gossip
+// validator (SymbolicGossipOptions) grew the same set of sampling,
+// collision and threading knobs independently; the copies drifted only
+// in their doc comments, never in meaning.  CommonCheckOptions is the
+// single home for those fields: both option structs inherit it, so the
+// old spellings (`sopt.threads`, `sopt.collision_mode`, ...) keep
+// compiling unchanged — the inherited members ARE the documented
+// aliases for this release.  shc_lint's duplicate-knob rule forbids
+// re-declaring any of these names as members elsewhere in src/.
+//
+// A new addition over the historical copies: `pool` lets a caller lend
+// a persistent WorkerPool to a validator instead of having it spin up
+// (and tear down) its own per `threads`.  The certification server
+// reuses one pool across thousands of queries this way.  The verdict
+// contract is unchanged: reports are bit-for-bit identical for every
+// thread count and for borrowed vs. owned pools.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "shc/sim/occupancy_ledger.hpp"
+
+namespace shc {
+
+class WorkerPool;
+
+/// Knobs shared by every symbolic check engine (all have safe defaults;
+/// caps make the engines fail explicitly instead of thrashing on
+/// adversarial input).  Embedded — by inheritance — in
+/// SymbolicCheckOptions and SymbolicGossipOptions.
+struct CommonCheckOptions {
+  /// Groups sampled per round for concrete replay through the exact
+  /// serial kernel (0 disables sampling).
+  std::uint64_t sample_groups_per_round = 4;
+  /// Concrete calls/exchanges expanded per sampled group.
+  std::uint64_t sample_calls_per_group = 4;
+  std::uint64_t sample_seed = 0x5eedULL;
+
+  /// How per-round concurrent disjointness is proved.  kLedger (the
+  /// default) consumes every claimed subcube into a dyadic occupancy
+  /// ledger — cost O(total pieces * n), which is what certifies the
+  /// paper's designed n = 63 (m = 10) construction.  kPairSweep keeps
+  /// the original volume sweep + exact analysis per candidate pair for
+  /// parity testing and small-n cross-checking; both modes produce
+  /// bit-for-bit identical reports (enforced by tests).
+  CollisionMode collision_mode = CollisionMode::kLedger;
+  /// Dyadic-walk budget per ledger claim: each bucket's budget is
+  /// ledger_bucket_budget_base + ledger_budget_per_claim * bucket
+  /// claims — deterministic, thread-count independent.  The designed
+  /// specs stay under 16 visits per claim; the default leaves an order
+  /// of magnitude of headroom.
+  std::uint64_t ledger_budget_per_claim = 512;
+  std::uint64_t ledger_bucket_budget_base = 4096;
+
+  /// Node budget of the per-round collision candidate sweeps
+  /// (kPairSweep mode only).
+  std::uint64_t collision_budget = std::uint64_t{1} << 28;
+  /// Cap on collision candidate pairs per round (kPairSweep mode only).
+  std::size_t max_collision_pairs = std::size_t{1} << 16;
+
+  /// Workers for the per-round group checks — they shard over a
+  /// persistent WorkerPool.  1 (the default) runs fully inline.  The
+  /// verdict, report, and error strings are thread-count independent:
+  /// per-entry budgets are deterministic and the failure with the
+  /// smallest candidate index wins, exactly as the serial loop picks
+  /// it.  Ignored when `pool` is set.
+  int threads = 1;
+
+  /// Optional borrowed WorkerPool.  When non-null the validator shards
+  /// its checks over this pool instead of constructing one from
+  /// `threads`; the caller keeps ownership and must keep the pool alive
+  /// for the validator's lifetime.  Lets a long-lived server reuse one
+  /// pool across queries.  Null (the default) preserves the historical
+  /// behavior: an owned pool iff threads > 1.
+  WorkerPool* pool = nullptr;
+};
+
+}  // namespace shc

@@ -63,6 +63,7 @@
 #include "shc/bits/bitstring.hpp"
 #include "shc/bits/checked.hpp"
 #include "shc/obs/recorder.hpp"
+#include "shc/sim/check_options.hpp"
 #include "shc/sim/occupancy_ledger.hpp"
 #include "shc/sim/subcube.hpp"
 #include "shc/sim/symbolic_schedule.hpp"
@@ -273,56 +274,21 @@ template <class Fn>
 
 /// Knobs of the symbolic checks (all have safe defaults; caps make the
 /// engine fail explicitly instead of thrashing on adversarial input).
-struct SymbolicCheckOptions {
-  /// Groups sampled per round for concrete serial-kernel replay (0
-  /// disables sampling).
-  std::uint64_t sample_groups_per_round = 4;
-  /// Concrete calls expanded per sampled group.
-  std::uint64_t sample_calls_per_group = 4;
-  std::uint64_t sample_seed = 0x5eedULL;
-
+/// The sampling, collision, and threading knobs shared with the gossip
+/// engine live in the CommonCheckOptions base (check_options.hpp) —
+/// the inherited spellings (`sopt.threads`, `sopt.collision_mode`,
+/// ...) are the documented aliases and keep compiling unchanged; only
+/// the broadcast-specific budgets are declared here.
+struct SymbolicCheckOptions : CommonCheckOptions {
   /// Hard cap on informed-set subcubes (memory guard).
   std::uint64_t max_frontier_subcubes = std::uint64_t{1} << 26;
 
-  /// How per-round concurrent-group disjointness is proved.  kLedger
-  /// (the default) consumes every per-hop edge subcube — and vertex
-  /// subcube under the vertex-disjoint model — into a dyadic occupancy
-  /// ledger: cost O(total pieces * n), which is what certifies the
-  /// paper's designed n = 63 (m = 10) construction.  kPairSweep keeps
-  /// the original volume sweep + exact analysis per candidate pair for
-  /// parity testing and small-n cross-checking; the two modes produce
-  /// bit-for-bit identical reports (enforced by tests; the one caveat —
-  /// a round holding both an edge and a vertex collision on different
-  /// group pairs may pick the other collision's message — is
-  /// documented at check_collisions).
-  CollisionMode collision_mode = CollisionMode::kLedger;
-  /// Dyadic-walk budget per ledger claim: each bucket's budget is
-  /// ledger_bucket_budget_base + ledger_budget_per_claim * bucket
-  /// claims — deterministic, thread-count independent.  The designed
-  /// specs stay under 16 visits per claim; the default leaves an order
-  /// of magnitude of headroom.
-  std::uint64_t ledger_budget_per_claim = 512;
-  std::uint64_t ledger_bucket_budget_base = 4096;
-
-  /// Node budget of the per-round collision candidate sweep
-  /// (kPairSweep mode only).
-  std::uint64_t collision_budget = std::uint64_t{1} << 28;
-  /// Cap on collision candidate pairs per round (kPairSweep mode only).
-  std::size_t max_collision_pairs = std::size_t{1} << 16;
   /// Node budget of the endgame canonical reduction.
   std::uint64_t reduce_budget = std::uint64_t{1} << 26;
   /// Per-entry budget of the caller-tiling dyadic consumption; 0 (the
   /// default) derives it from the round's group count
   /// (4 * groups + 65536).
   std::uint64_t tiling_budget = 0;
-
-  /// Workers for the per-round group checks (collision-candidate
-  /// analysis and caller-tiling consumption) — they shard over a
-  /// persistent WorkerPool.  1 (the default) runs fully inline.  The
-  /// verdict, report, and error strings are thread-count independent:
-  /// per-entry budgets are deterministic and the failure with the
-  /// smallest candidate index wins, exactly as the serial loop picks it.
-  int threads = 1;
 };
 
 /// Group/expansion statistics of one symbolic run.
@@ -360,7 +326,12 @@ class SymbolicBroadcastValidator {
         ledger_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)),
         rng_(sopt.sample_seed),
         occupancy_(std::clamp(net.cube_dim(), 1, kMaxCubeDim)) {
-    if (sopt.threads > 1) pool_ = std::make_unique<WorkerPool>(sopt.threads);
+    if (sopt.pool) {
+      pool_ = sopt.pool;
+    } else if (sopt.threads > 1) {
+      owned_pool_ = std::make_unique<WorkerPool>(sopt.threads);
+      pool_ = owned_pool_.get();
+    }
     if (n_ < 1 || n_ > kMaxCubeDim || order_ != cube_order(n_)) {
       fail("symbolic validator requires a full 2^n-vertex cube oracle");
       return;
@@ -525,7 +496,7 @@ class SymbolicBroadcastValidator {
       });
       saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
       const OccupancyOutcome out =
-          mult_clean ? occupancy_.check(pool_.get(),
+          mult_clean ? occupancy_.check(pool_,
                                         sopt_.ledger_budget_per_claim,
                                         sopt_.ledger_bucket_budget_base)
                      : OccupancyOutcome{};
@@ -546,7 +517,7 @@ class SymbolicBroadcastValidator {
       // pool (threads = 1) it IS the serial reduction.
       const auto canon =
           canonical_reduce_tree(frontier_.to_entries(), n_,
-                                sopt_.reduce_budget, pool_.get(),
+                                sopt_.reduce_budget, pool_,
                                 &stats_.reduce_tree_tasks);
       if (!canon) {
         fail("endgame canonical reduction exceeded its budget (node budget " +
@@ -710,7 +681,7 @@ class SymbolicBroadcastValidator {
     }
     saturating_acc_u64(stats_.occupancy_claims, occupancy_.num_claims());
     const OccupancyOutcome out =
-        occupancy_.check(pool_.get(), sopt_.ledger_budget_per_claim,
+        occupancy_.check(pool_, sopt_.ledger_budget_per_claim,
                          sopt_.ledger_bucket_budget_base);
     switch (out.status) {
       case OccupancyStatus::kDisjoint:
@@ -747,7 +718,7 @@ class SymbolicBroadcastValidator {
     }
     saturating_acc_u64(stats_.collision_candidates, pairs->size());
     const auto failure = detail::first_failure(
-        pool_.get(), pairs->size(), [&](std::size_t i) {
+        pool_, pairs->size(), [&](std::size_t i) {
           const auto& [a, b] = (*pairs)[i];
           return detail::symbolic_pair_collision_msg(
               round_.groups[a], pattern_of(a), round_.groups[b], pattern_of(b),
@@ -814,7 +785,10 @@ class SymbolicBroadcastValidator {
   SubcubeFrontier frontier_;  ///< informed multiset, cross-round
   SubcubeFrontier ledger_;    ///< round-local caller ledger (raw mode)
   std::mt19937_64 rng_;
-  std::unique_ptr<WorkerPool> pool_;  ///< non-null iff sopt.threads > 1
+  /// Check-sharding pool: sopt.pool when the caller lends one (server
+  /// reuse across queries), else owned_pool_ iff sopt.threads > 1.
+  WorkerPool* pool_ = nullptr;
+  std::unique_ptr<WorkerPool> owned_pool_;
 
   // Round-local group storage: one recycled SymbolicRound (patterns
   // pooled in its 32-bit-offset layout; no deduplication needed here).

@@ -1,0 +1,209 @@
+// Service suite for ServeEngine (shc/api/serve.hpp): malformed input
+// answers structured error rows (never a crash), concurrent clients all
+// get correct answers, cache hits return the cold run's row bytes
+// unchanged, and admission control refuses excess heavy queries while
+// an admitted one completes without starving the small ones.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shc/api/serve.hpp"
+
+namespace shc {
+namespace {
+
+/// Removes the per-request envelope fields so row payloads can be
+/// compared across requests.
+std::string strip_envelope(std::string row) {
+  for (const char* key : {",\"id\":", ",\"cache_hit\":"}) {
+    const std::size_t at = row.find(key);
+    if (at == std::string::npos) continue;
+    std::size_t end = at + std::strlen(key);
+    while (end < row.size() && row[end] != ',' && row[end] != '}') ++end;
+    row.erase(at, end - at);
+  }
+  return row;
+}
+
+TEST(ServeEngine, MalformedLinesAnswerErrorRowsNotCrashes) {
+  ServeEngine engine{ServeOptions{}};
+  for (const char* bad :
+       {"", "{", "{oops", "[1,2,3]", "42", "{\"workload\":7,\"n\":8}",
+        "{\"workload\":\"frisbee\",\"n\":8}",
+        "{\"workload\":\"broadcast-streaming\"}",                   // missing n
+        "{\"n\":8}",                                                // missing workload
+        "{\"workload\":\"broadcast-streaming\",\"n\":8,\"x\":1}",   // unknown field
+        "{\"workload\":\"broadcast-streaming\",\"n\":8,\"threads\":0}",
+        "{\"workload\":\"broadcast-streaming\",\"n\":8,\"cuts\":[\"a\"]}",
+        "{\"workload\":\"broadcast-streaming\",\"n\":8} trailing",
+        "{\"workload\":\"broadcast-streaming\",\"n\":8,\"model\":\"bogus\"}"}) {
+    const std::string row = engine.handle_line(bad);
+    EXPECT_NE(row.find("\"ok\":false"), std::string::npos) << bad << " -> " << row;
+    EXPECT_NE(row.find("\"error\":\""), std::string::npos) << bad << " -> " << row;
+  }
+  EXPECT_EQ(engine.stats().errors, 14u);
+
+  // The engine is still alive and answers real queries afterwards.
+  const std::string row = engine.handle_line(
+      "{\"workload\":\"broadcast-streaming\",\"n\":8,\"k\":2}");
+  EXPECT_NE(row.find("\"ok\":true"), std::string::npos) << row;
+
+  // An unbuildable spec is an error row too, not an escaped throw.
+  const std::string badspec = engine.handle_line(
+      "{\"workload\":\"broadcast-symbolic\",\"n\":8,\"cuts\":[5,3]}");
+  EXPECT_NE(badspec.find("\"ok\":false"), std::string::npos) << badspec;
+}
+
+TEST(ServeEngine, CacheHitReturnsByteIdenticalRow) {
+  ServeEngine engine{ServeOptions{}};
+  const std::string cold = engine.handle_line(
+      "{\"id\":1,\"workload\":\"broadcast-symbolic\",\"n\":12,\"k\":2}");
+  ASSERT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+  ASSERT_NE(cold.find("\"cache_hit\":false"), std::string::npos) << cold;
+
+  const std::string warm = engine.handle_line(
+      "{\"id\":2,\"workload\":\"broadcast-symbolic\",\"n\":12,\"k\":2}");
+  EXPECT_NE(warm.find("\"cache_hit\":true"), std::string::npos) << warm;
+  EXPECT_EQ(strip_envelope(warm), strip_envelope(cold));
+
+  // Thread count is not part of the key — the engines' reports are
+  // thread-invariant, so a different `threads` still hits.
+  const std::string threaded = engine.handle_line(
+      "{\"id\":3,\"workload\":\"broadcast-symbolic\",\"n\":12,\"k\":2,"
+      "\"threads\":2}");
+  EXPECT_NE(threaded.find("\"cache_hit\":true"), std::string::npos) << threaded;
+  EXPECT_EQ(strip_envelope(threaded), strip_envelope(cold));
+
+  // Explicit cuts equal to the designed spec's coincide in the cache.
+  const std::string cuts = strip_envelope(cold);
+  const std::size_t at = cuts.find("\"cuts\":[");
+  ASSERT_NE(at, std::string::npos);
+  const std::string cut_list =
+      cuts.substr(at + 8, cuts.find(']', at) - at - 8);
+  const std::string explicit_req =
+      "{\"id\":4,\"workload\":\"broadcast-symbolic\",\"n\":12,\"cuts\":[" +
+      cut_list + "]}";
+  const std::string via_cuts = engine.handle_line(explicit_req);
+  EXPECT_NE(via_cuts.find("\"cache_hit\":true"), std::string::npos) << via_cuts;
+
+  // Different source, model, or workload are different certificates.
+  const std::string other = engine.handle_line(
+      "{\"workload\":\"broadcast-symbolic\",\"n\":12,\"k\":2,\"source\":1}");
+  EXPECT_NE(other.find("\"cache_hit\":false"), std::string::npos) << other;
+
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.cache_hits, 3u);
+  EXPECT_EQ(s.cache_misses, 2u);
+
+  ServeOptions nocache;
+  nocache.enable_cache = false;
+  ServeEngine uncached(nocache);
+  const std::string a = uncached.handle_line(
+      "{\"workload\":\"broadcast-streaming\",\"n\":8}");
+  const std::string b = uncached.handle_line(
+      "{\"workload\":\"broadcast-streaming\",\"n\":8}");
+  EXPECT_NE(a.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(b.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+}
+
+TEST(ServeEngine, SixtyFourConcurrentClientsAllAnswered) {
+  // 64 client threads × a 4-query mix; every response must be an ok row
+  // and every repeat of a key must match the first answer byte-for-byte
+  // (modulo the envelope).
+  ServeOptions opt;
+  opt.threads = 2;
+  ServeEngine engine(opt);
+  const std::vector<std::string> mix = {
+      "{\"workload\":\"broadcast-streaming\",\"n\":8,\"k\":2}",
+      "{\"workload\":\"broadcast-symbolic\",\"n\":10,\"k\":2}",
+      "{\"workload\":\"gossip-symbolic\",\"n\":8,\"k\":2}",
+      "{\"workload\":\"exchange-gossip\",\"n\":8}",
+  };
+  constexpr int kClients = 64;
+  std::vector<std::vector<std::string>> answers(kClients);
+  std::atomic<int> bad{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (const std::string& q : mix) {
+          std::string row = engine.handle_line(q);
+          if (row.find("\"ok\":true") == std::string::npos) bad.fetch_add(1);
+          answers[static_cast<std::size_t>(c)].push_back(
+              strip_envelope(std::move(row)));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(answers[static_cast<std::size_t>(c)], answers[0]) << "client " << c;
+  }
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.queries, static_cast<std::uint64_t>(kClients) * mix.size());
+  EXPECT_EQ(s.ok, s.queries);
+  EXPECT_EQ(s.refused, 0u);
+  EXPECT_EQ(s.errors, 0u);
+  // Exactly one cold run per distinct key; everything else hit.
+  EXPECT_EQ(s.cache_misses, mix.size());
+  EXPECT_EQ(s.cache_hits, s.queries - mix.size());
+}
+
+TEST(ServeEngine, AdmissionControlRefusesAndCompletes) {
+  // heavy_slots = 0: every heavy query refuses with a structured row.
+  ServeOptions closed;
+  closed.heavy_groups = 1;  // everything is heavy
+  closed.heavy_slots = 0;
+  ServeEngine gate(closed);
+  const std::string refused = gate.handle_line(
+      "{\"id\":9,\"workload\":\"broadcast-streaming\",\"n\":8}");
+  EXPECT_NE(refused.find("\"refused\":true"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("\"ok\":false"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("\"id\":9"), std::string::npos) << refused;
+  EXPECT_EQ(gate.stats().refused, 1u);
+  // Refusals are transient, so they must not be cached: opening the
+  // gate is pointless if the refusal row sticks.
+  EXPECT_EQ(gate.stats().cache_misses, 0u);
+
+  // heavy_slots = 1: an admitted heavy query (n = 16 symbolic, over the
+  // tiny threshold) completes while concurrent small streaming queries
+  // keep being answered — the mixed-load shape the bench row measures
+  // at designed-47 scale.
+  ServeOptions open;
+  open.heavy_groups = 1u << 8;
+  open.heavy_slots = 1;
+  ServeEngine engine(open);
+  std::atomic<int> small_bad{0};
+  std::string heavy_row;
+  {
+    std::thread heavy([&] {
+      heavy_row = engine.handle_line(
+          "{\"workload\":\"broadcast-symbolic\",\"n\":16,\"k\":2}");
+    });
+    std::vector<std::thread> small;
+    for (int c = 0; c < 8; ++c) {
+      small.emplace_back([&] {
+        for (int q = 0; q < 4; ++q) {
+          const std::string row = engine.handle_line(
+              "{\"workload\":\"broadcast-streaming\",\"n\":6,\"k\":2}");
+          if (row.find("\"ok\":true") == std::string::npos) small_bad.fetch_add(1);
+        }
+      });
+    }
+    heavy.join();
+    for (std::thread& t : small) t.join();
+  }
+  EXPECT_NE(heavy_row.find("\"ok\":true"), std::string::npos) << heavy_row;
+  EXPECT_EQ(small_bad.load(), 0);
+  EXPECT_EQ(engine.stats().refused, 0u);
+}
+
+}  // namespace
+}  // namespace shc

@@ -38,6 +38,13 @@ conventions that are easy to break silently in review.  This lint walks
                     are measurements confined to trace files; a clock
                     anywhere else in src/ is a nondeterminism hazard for
                     verdicts and reports.
+  duplicate-knob    The shared checking knobs (sampling, ledger and
+                    collision budgets) are declared once, in
+                    sim/check_options.hpp (CommonCheckOptions), and
+                    inherited by every engine's options struct.
+                    Re-declaring one of those members elsewhere
+                    re-opens the drift this layout removed: two
+                    defaults for the same knob, silently diverging.
 
 Suppression: append `// shc-lint: allow(<rule>)` on the offending line
 or the line directly above it, with a comment explaining why.  Extending
@@ -76,7 +83,7 @@ CHECKED_COUNTERS = (
     "union_cache_misses",
     "reduce_tree_tasks",
 )
-CHECKED_COUNTER_DIRS = ("src/sim", "src/gossip", "src/mlbg")
+CHECKED_COUNTER_DIRS = ("src/sim", "src/gossip", "src/mlbg", "src/api")
 
 # std::thread is WorkerPool's private concern; sizing via
 # hardware_concurrency() is allowed anywhere.
@@ -106,7 +113,28 @@ LAYERING = {
     "mlbg": {"bits", "graph", "labeling", "obs", "sim", "mlbg"},
     "gossip": {"bits", "obs", "sim", "mlbg", "gossip"},
     "baseline": {"bits", "graph", "sim", "baseline"},
+    # The facade sits on top of every engine.  No other module lists
+    # "api" here, so "nothing in src/ includes the facade" falls out of
+    # the same table — only examples/ and tests/ consume it.
+    "api": {"bits", "graph", "obs", "sim", "mlbg", "gossip", "api"},
 }
+
+# The shared checking knobs: declared once in CommonCheckOptions
+# (sim/check_options.hpp), inherited by SymbolicCheckOptions and
+# SymbolicGossipOptions.  A second *declaration* of any of these names
+# in src/ is the duplicated-knob layout PR 10 collapsed (threads and
+# pool are deliberately absent — those words are too generic to match
+# declarations reliably; the distinctive knob names below are unique).
+DUPLICATE_KNOBS = (
+    "sample_groups_per_round",
+    "sample_calls_per_group",
+    "sample_seed",
+    "ledger_budget_per_claim",
+    "ledger_bucket_budget_base",
+    "collision_budget",
+    "max_collision_pairs",
+)
+KNOB_HOME = "src/sim/include/shc/sim/check_options.hpp"
 
 # Clock reads are the flight recorder's private concern: trace
 # timestamps are measurements, never inputs to a verdict, so the only
@@ -128,6 +156,12 @@ NONDET_RES = (
 )
 TIMESTAMP_RE = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"
+)
+# A declaration is "type-token, whitespace, knob name, then = / { / ;".
+# Reads are always qualified (`sopt.collision_budget`) or bare inside an
+# expression, so neither form has a type token + whitespace in front.
+DUPLICATE_KNOB_RE = re.compile(
+    r"\b[A-Za-z_][\w:]*\s+(" + "|".join(DUPLICATE_KNOBS) + r")\s*[={;]"
 )
 INCLUDE_RE = re.compile(r'#\s*include\s*"shc/([a-z]+)/')
 
@@ -244,6 +278,15 @@ def lint_file(path: pathlib.Path, rel: str, out: Findings) -> None:
                     path, lineno, "nondeterminism",
                     f"{what} in src/ — reports must be reproducible; take a "
                     "caller-seeded std::mt19937_64 instead",
+                )
+        if rel != KNOB_HOME:
+            m = DUPLICATE_KNOB_RE.search(line)
+            if m and not ok(lineno, "duplicate-knob"):
+                out.add(
+                    path, lineno, "duplicate-knob",
+                    f"member '{m.group(1)}' is declared by CommonCheckOptions "
+                    "(sim/check_options.hpp) — inherit it there instead of "
+                    "re-declaring a second default",
                 )
         if not rel.startswith(TIMESTAMP_ALLOWED_DIRS):
             if TIMESTAMP_RE.search(line) and not ok(lineno, "timestamp"):

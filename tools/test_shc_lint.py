@@ -326,6 +326,83 @@ class KernelLayerRule(LintHarness):
         )
 
 
+class DuplicateKnobRule(LintHarness):
+    def test_redeclared_knob_flagged(self) -> None:
+        self.assert_finding(
+            {
+                "src/mlbg/a.hpp":
+                    "struct Opt { std::uint64_t sample_seed = 1; };\n"
+            },
+            "duplicate-knob",
+        )
+
+    def test_redeclared_budget_flagged(self) -> None:
+        self.assert_finding(
+            {
+                "src/gossip/a.hpp":
+                    "struct Opt { std::uint64_t collision_budget{8}; };\n"
+            },
+            "duplicate-knob",
+        )
+
+    def test_home_header_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/include/shc/sim/check_options.hpp":
+                    "struct CommonCheckOptions { std::uint64_t sample_seed = "
+                    "0x5eedULL; };\n"
+            }
+        )
+
+    def test_qualified_reads_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp":
+                    "void f() { auto s = sopt_.sample_seed; }\n"
+                    "bool g() { return budget < sopt_.collision_budget; }\n"
+            }
+        )
+
+    def test_suppression_honored(self) -> None:
+        self.assert_clean(
+            {
+                "src/sim/a.hpp":
+                    "// shc-lint: allow(duplicate-knob) — test fixture\n"
+                    "struct Opt { std::uint64_t sample_seed = 1; };\n"
+            }
+        )
+
+
+class ApiLayering(LintHarness):
+    def test_api_including_engines_clean(self) -> None:
+        self.assert_clean(
+            {
+                "src/api/a.hpp": '#include "shc/mlbg/broadcast.hpp"\n',
+                "src/api/b.cpp":
+                    '#include "shc/gossip/symbolic_gossip.hpp"\n'
+                    '#include "shc/sim/congestion.hpp"\n'
+                    '#include "shc/obs/recorder.hpp"\n',
+            }
+        )
+
+    def test_api_including_baseline_flagged(self) -> None:
+        self.assert_finding(
+            {"src/api/a.hpp": '#include "shc/baseline/path_star.hpp"\n'},
+            "layering",
+        )
+
+    def test_engines_including_api_flagged(self) -> None:
+        # Nothing below the facade may reach up into it.
+        self.assert_finding(
+            {"src/gossip/a.hpp": '#include "shc/api/certify.hpp"\n'}, "layering"
+        )
+
+    def test_sim_including_api_flagged(self) -> None:
+        self.assert_finding(
+            {"src/sim/a.cpp": '#include "shc/api/serve.hpp"\n'}, "layering"
+        )
+
+
 class RealTree(LintHarness):
     def test_repo_is_clean(self) -> None:
         """The actual tree must lint clean — this is the ctest gate."""
